@@ -1,0 +1,16 @@
+// Reproduces Table 4 of the paper: query processing times on the full and
+// the dual-simulation-pruned database for the RDFox-like engine (greedy
+// dynamic join ordering), plus the combined pruning + query time.
+//
+// Expected shape (paper): pruning improves the engine most where
+// intermediate results are large (the L1 analogue by an order of
+// magnitude); for queries where the fixpoint itself is slow (L0),
+// pruning + sim loses to the plain engine.
+
+#include "bench/bench_table45_common.h"
+
+int main() {
+  return sparqlsim::bench::RunTable(
+      "Table 4: full vs pruned query times, RDFox-like engine (seconds)",
+      sparqlsim::engine::JoinOrderPolicy::kRdfoxLike);
+}

@@ -1,0 +1,15 @@
+// Reproduces Table 5 of the paper: query processing times on the full and
+// the dual-simulation-pruned database for the Virtuoso-like engine (static
+// statistics-driven join ordering), plus the combined pruning + query time.
+//
+// Expected shape (paper): fewer queries improve than with the RDFox-like
+// engine; because the planner re-plans from the pruned database's
+// statistics, pruning can occasionally *hurt* (the paper's D4 anomaly).
+
+#include "bench/bench_table45_common.h"
+
+int main() {
+  return sparqlsim::bench::RunTable(
+      "Table 5: full vs pruned query times, Virtuoso-like engine (seconds)",
+      sparqlsim::engine::JoinOrderPolicy::kVirtuosoLike);
+}

@@ -1,0 +1,99 @@
+// Exemplar-style search via dual simulation — the application family the
+// paper cites from Mottin et al. (Sect. 6): the user gives an *example*
+// subgraph instead of a query, and the system retrieves all database
+// regions whose structure dual-simulates the exemplar.
+//
+// Here the exemplar is "a film with a director and two cast members who
+// are married to each other", expressed directly as a pattern graph, and
+// dual simulation retrieves every candidate film/person constellation
+// from a DBpedia-like knowledge graph in milliseconds.
+//
+// Build & run:  ./build/examples/exemplar_search
+
+#include <cstdio>
+
+#include "datagen/dbpedia.h"
+#include "sim/dual_simulation.h"
+#include "sim/equivalence.h"
+#include "sim/soi.h"
+#include "sim/strong_simulation.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace sparqlsim;
+
+  datagen::DbpediaConfig config;
+  config.scale = 1;
+  graph::GraphDatabase db = datagen::MakeDbpediaDatabase(config);
+  std::printf("knowledge graph: %zu triples, %zu nodes, %zu predicates\n",
+              db.NumTriples(), db.NumNodes(), db.NumPredicates());
+
+  auto predicate = [&](const char* name) {
+    auto id = db.predicates().Lookup(name);
+    return id ? *id : sim::kEmptyPredicate;
+  };
+
+  // The exemplar: film -director-> d, film -starring-> a1, a2,
+  // a1 -spouse-> a2.
+  enum { kFilm, kDirector, kActor1, kActor2, kNumNodes };
+  graph::Graph exemplar(kNumNodes);
+  exemplar.AddEdge(kFilm, predicate("director"), kDirector);
+  exemplar.AddEdge(kFilm, predicate("starring"), kActor1);
+  exemplar.AddEdge(kFilm, predicate("starring"), kActor2);
+  exemplar.AddEdge(kActor1, predicate("spouse"), kActor2);
+
+  util::Stopwatch watch;
+  sim::Solution solution = sim::LargestDualSimulation(exemplar, db);
+  double seconds = watch.ElapsedSeconds();
+
+  const char* names[] = {"film", "director", "actor1", "actor2"};
+  std::printf("\nexemplar retrieval in %.4fs (%zu fixpoint rounds):\n",
+              seconds, solution.stats.rounds);
+  for (int v = 0; v < kNumNodes; ++v) {
+    std::printf("  %-9s %6zu candidates", names[v],
+                solution.candidates[v].Count());
+    // Show a few.
+    int shown = 0;
+    solution.candidates[v].ForEachSetBit([&](uint32_t node) {
+      if (shown < 3) {
+        std::printf("%s %s", shown == 0 ? " e.g." : ",",
+                    db.nodes().Name(node).c_str());
+      }
+      ++shown;
+    });
+    std::printf("\n");
+  }
+
+  if (!solution.AnyCandidate()) {
+    std::printf("no region of the graph matches the exemplar\n");
+    return 0;
+  }
+
+  // Dual-simulation equivalence classes: the candidate fingerprint is far
+  // smaller than the candidate sets themselves (the Sect. 6 index idea).
+  sim::EquivalenceClasses classes =
+      sim::ComputeEquivalenceClasses(solution, db.NumNodes());
+  std::printf("\nequivalence classes: %zu classes cover %zu candidate nodes "
+              "(%zu nodes discarded)\n",
+              classes.num_classes, db.NumNodes() - classes.num_discarded,
+              classes.num_discarded);
+
+  // Strong simulation (Ma et al.) separates the merged dual-simulation
+  // relation into per-ball constellations, restoring locality.
+  watch.Restart();
+  sim::StrongSimResult strong = sim::StrongSimulation(exemplar, db);
+  std::printf("\nstrong simulation: %zu localized matches (radius %zu, "
+              "%zu balls checked) in %.4fs\n",
+              strong.matches.size(), strong.radius, strong.balls_checked,
+              watch.ElapsedSeconds());
+  for (size_t i = 0; i < std::min<size_t>(strong.matches.size(), 3); ++i) {
+    const sim::StrongMatch& m = strong.matches[i];
+    std::printf("  match %zu (center %s):", i,
+                db.nodes().Name(m.center).c_str());
+    for (int v = 0; v < kNumNodes; ++v) {
+      std::printf(" %s=%zu", names[v], m.candidates[v].Count());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

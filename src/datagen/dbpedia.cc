@@ -1,0 +1,259 @@
+#include "datagen/dbpedia.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sparqlsim::datagen {
+
+graph::GraphDatabase MakeDbpediaDatabase(const DbpediaConfig& config) {
+  util::Rng rng(config.seed);
+  graph::GraphDatabaseBuilder builder;
+
+  auto node = [&](const std::string& n) { return builder.InternNode(n); };
+  auto add = [&](uint32_t s, uint32_t p, uint32_t o) {
+    util::Status status = builder.AddTripleIds(s, p, o);
+    (void)status;
+  };
+  auto attr = [&](uint32_t s, uint32_t p, const std::string& value) {
+    util::Status status =
+        builder.AddTripleIds(s, p, builder.InternLiteral(value));
+    (void)status;
+  };
+
+  // --- Predicates ---
+  uint32_t type_p = builder.InternPredicate("rdf:type");
+  uint32_t birth_place = builder.InternPredicate("birthPlace");
+  uint32_t death_place = builder.InternPredicate("deathPlace");
+  uint32_t country_p = builder.InternPredicate("country");
+  uint32_t located_in = builder.InternPredicate("locatedIn");
+  uint32_t director_p = builder.InternPredicate("director");
+  uint32_t starring_p = builder.InternPredicate("starring");
+  uint32_t writer_p = builder.InternPredicate("writer");
+  uint32_t genre_p = builder.InternPredicate("genre");
+  uint32_t artist_p = builder.InternPredicate("artist");
+  uint32_t author_p = builder.InternPredicate("author");
+  uint32_t spouse_p = builder.InternPredicate("spouse");
+  uint32_t alma_mater = builder.InternPredicate("almaMater");
+  uint32_t employer_p = builder.InternPredicate("employer");
+  uint32_t founded_by = builder.InternPredicate("foundedBy");
+  uint32_t sequel_of = builder.InternPredicate("sequel_of");
+  uint32_t award_p = builder.InternPredicate("award");
+  uint32_t band_member = builder.InternPredicate("bandMember");
+  uint32_t population_p = builder.InternPredicate("populationTotal");
+  uint32_t name_p = builder.InternPredicate("name");
+  uint32_t runtime_p = builder.InternPredicate("runtime");
+  uint32_t abstract_p = builder.InternPredicate("abstract");
+
+  // --- Classes ---
+  uint32_t c_person = node("Person");
+  uint32_t c_actor = node("Actor");
+  uint32_t c_director = node("Director");
+  uint32_t c_writer = node("Writer");
+  uint32_t c_music = node("MusicArtist");
+  uint32_t c_film = node("Film");
+  uint32_t c_city = node("City");
+  uint32_t c_country = node("Country");
+  uint32_t c_genre = node("Genre");
+  uint32_t c_band = node("Band");
+  uint32_t c_album = node("Album");
+  uint32_t c_book = node("Book");
+  uint32_t c_company = node("Company");
+  uint32_t c_university = node("University");
+  uint32_t c_award = node("Award");
+
+  const size_t s = config.scale;
+  const size_t num_countries = 120;
+  const size_t num_cities = 2500 * s;
+  const size_t num_genres = 40;
+  const size_t num_universities = 400 * s;
+  const size_t num_persons = 30000 * s;
+  const size_t num_films = 9000 * s;
+  const size_t num_bands = 2000 * s;
+  const size_t num_albums = 6000 * s;
+  const size_t num_books = 5000 * s;
+  const size_t num_companies = 3000 * s;
+  const size_t num_awards = 25;
+
+  // --- Base entities ---
+  std::vector<uint32_t> countries, cities, genres, universities, persons,
+      films, bands, companies, awards;
+  for (size_t i = 0; i < num_countries; ++i) {
+    uint32_t c = node("Country" + std::to_string(i));
+    add(c, type_p, c_country);
+    countries.push_back(c);
+  }
+  for (size_t i = 0; i < num_genres; ++i) {
+    uint32_t g = node("Genre" + std::to_string(i));
+    add(g, type_p, c_genre);
+    genres.push_back(g);
+  }
+  for (size_t i = 0; i < num_awards; ++i) {
+    uint32_t a = node("Award" + std::to_string(i));
+    add(a, type_p, c_award);
+    awards.push_back(a);
+  }
+  for (size_t i = 0; i < num_cities; ++i) {
+    uint32_t c = node("City" + std::to_string(i));
+    add(c, type_p, c_city);
+    add(c, country_p, countries[rng.NextBounded(countries.size())]);
+    attr(c, population_p, std::to_string(1000 + rng.NextBounded(5000000)));
+    cities.push_back(c);
+  }
+  for (size_t i = 0; i < num_universities; ++i) {
+    uint32_t u = node("Univ" + std::to_string(i));
+    add(u, type_p, c_university);
+    add(u, located_in, cities[rng.NextBounded(cities.size())]);
+    universities.push_back(u);
+  }
+
+  // --- People: role pools are index-residue based so that benchmark
+  // queries can rely on, e.g., "Person0" being a director. ---
+  std::vector<uint32_t> actors, directors, writers, musicians;
+  for (size_t i = 0; i < num_persons; ++i) {
+    uint32_t p = node("Person" + std::to_string(i));
+    persons.push_back(p);
+    add(p, type_p, c_person);
+    if (i % 4 == 0) {
+      add(p, type_p, c_actor);
+      actors.push_back(p);
+    }
+    if (i % 20 == 0) {
+      add(p, type_p, c_director);
+      directors.push_back(p);
+    }
+    if (i % 10 == 0) {
+      add(p, type_p, c_writer);
+      writers.push_back(p);
+    }
+    if (i % 7 == 0) {
+      add(p, type_p, c_music);
+      musicians.push_back(p);
+    }
+    if (rng.NextBool(0.9)) {
+      add(p, birth_place, cities[rng.NextBounded(cities.size())]);
+    }
+    if (rng.NextBool(0.2)) {
+      add(p, death_place, cities[rng.NextBounded(cities.size())]);
+    }
+    if (rng.NextBool(0.3)) {
+      add(p, alma_mater, universities[rng.NextBounded(universities.size())]);
+    }
+    if (rng.NextBool(0.4)) {
+      attr(p, name_p, "Person" + std::to_string(i) + "-name");
+    }
+    if (rng.NextBool(0.6)) {
+      attr(p, abstract_p, "Person" + std::to_string(i) + "-abstract");
+    }
+  }
+  // Spouses between persons (symmetric-ish but stored one way).
+  for (size_t i = 0; i < num_persons / 7; ++i) {
+    uint32_t a = persons[rng.NextBounded(persons.size())];
+    uint32_t b = persons[rng.NextBounded(persons.size())];
+    if (a != b) add(a, spouse_p, b);
+  }
+
+  // --- Companies ---
+  for (size_t i = 0; i < num_companies; ++i) {
+    uint32_t c = node("Company" + std::to_string(i));
+    companies.push_back(c);
+    add(c, type_p, c_company);
+    add(c, located_in, cities[rng.NextBounded(cities.size())]);
+    if (rng.NextBool(0.6)) {
+      add(c, founded_by, persons[rng.NextBounded(persons.size())]);
+    }
+  }
+  // Employment back-edges on people.
+  for (size_t i = 0; i < num_persons / 5; ++i) {
+    add(persons[rng.NextBounded(persons.size())], employer_p,
+        companies[rng.NextBounded(companies.size())]);
+  }
+
+  // --- Films ---
+  for (size_t i = 0; i < num_films; ++i) {
+    uint32_t f = node("Film" + std::to_string(i));
+    films.push_back(f);
+    add(f, type_p, c_film);
+    add(f, director_p, directors[rng.NextBounded(directors.size())]);
+    if (rng.NextBool(0.15)) {
+      add(f, director_p, directors[rng.NextBounded(directors.size())]);
+    }
+    size_t cast = 3 + rng.NextBounded(5);
+    for (size_t a = 0; a < cast; ++a) {
+      add(f, starring_p, actors[rng.NextBounded(actors.size())]);
+    }
+    if (rng.NextBool(0.5)) {
+      add(f, writer_p, writers[rng.NextBounded(writers.size())]);
+    }
+    add(f, genre_p, genres[rng.NextBounded(genres.size())]);
+    if (rng.NextBool(0.3)) {
+      add(f, genre_p, genres[rng.NextBounded(genres.size())]);
+    }
+    add(f, country_p, countries[rng.NextBounded(countries.size())]);
+    if (i > 0 && rng.NextBool(0.08)) {
+      add(f, sequel_of, films[rng.NextBounded(i)]);
+    }
+    if (rng.NextBool(0.04)) {
+      add(f, award_p, awards[rng.NextBounded(awards.size())]);
+    }
+    if (rng.NextBool(0.3)) {
+      attr(f, runtime_p, std::to_string(70 + rng.NextBounded(120)));
+    }
+    attr(f, abstract_p, "Film" + std::to_string(i) + "-abstract");
+  }
+
+  // --- Bands and albums ---
+  for (size_t i = 0; i < num_bands; ++i) {
+    uint32_t b = node("Band" + std::to_string(i));
+    bands.push_back(b);
+    add(b, type_p, c_band);
+    add(b, genre_p, genres[rng.NextBounded(genres.size())]);
+    size_t members = 2 + rng.NextBounded(4);
+    for (size_t m = 0; m < members; ++m) {
+      add(b, band_member, musicians[rng.NextBounded(musicians.size())]);
+    }
+  }
+  for (size_t i = 0; i < num_albums; ++i) {
+    uint32_t a = node("Album" + std::to_string(i));
+    add(a, type_p, c_album);
+    add(a, artist_p, rng.NextBool(0.7)
+                         ? bands[rng.NextBounded(bands.size())]
+                         : musicians[rng.NextBounded(musicians.size())]);
+    add(a, genre_p, genres[rng.NextBounded(genres.size())]);
+  }
+
+  // --- Books ---
+  for (size_t i = 0; i < num_books; ++i) {
+    uint32_t b = node("Book" + std::to_string(i));
+    add(b, type_p, c_book);
+    add(b, author_p, writers[rng.NextBounded(writers.size())]);
+    if (rng.NextBool(0.15)) {
+      add(b, author_p, writers[rng.NextBounded(writers.size())]);
+    }
+    add(b, genre_p, genres[rng.NextBounded(genres.size())]);
+  }
+
+  // --- Zipf tail of rare predicates (the 65k-predicate diversity knob) ---
+  std::vector<uint32_t> tail_predicates;
+  for (size_t i = 0; i < config.num_tail_predicates; ++i) {
+    tail_predicates.push_back(
+        builder.InternPredicate("tail" + std::to_string(i)));
+  }
+  std::vector<uint32_t>* pools[] = {&persons, &films,   &cities,
+                                    &bands,   &companies, &universities};
+  if (!tail_predicates.empty()) {
+    util::ZipfSampler zipf(tail_predicates.size(), 1.1);
+    for (size_t i = 0; i < config.num_tail_edges * s; ++i) {
+      uint32_t p = tail_predicates[zipf.Sample(&rng)];
+      std::vector<uint32_t>& from = *pools[rng.NextBounded(6)];
+      std::vector<uint32_t>& to = *pools[rng.NextBounded(6)];
+      add(from[rng.NextBounded(from.size())], p,
+          to[rng.NextBounded(to.size())]);
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,221 @@
+#include "datagen/lubm.h"
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sparqlsim::datagen {
+
+namespace {
+
+struct Ids {
+  graph::GraphDatabaseBuilder* builder = nullptr;
+
+  uint32_t type_p = 0, sub_org = 0, works_for = 0, member_of = 0, head_of = 0,
+           advisor = 0, teacher_of = 0, takes_course = 0, ta_of = 0,
+           pub_author = 0, ug_degree = 0, ms_degree = 0, phd_degree = 0,
+           name_p = 0, email_p = 0, phone_p = 0, interest_p = 0, title_p = 0;
+
+  void InternPredicates() {
+    type_p = builder->InternPredicate("rdf:type");
+    sub_org = builder->InternPredicate("subOrganizationOf");
+    works_for = builder->InternPredicate("worksFor");
+    member_of = builder->InternPredicate("memberOf");
+    head_of = builder->InternPredicate("headOf");
+    advisor = builder->InternPredicate("advisor");
+    teacher_of = builder->InternPredicate("teacherOf");
+    takes_course = builder->InternPredicate("takesCourse");
+    ta_of = builder->InternPredicate("teachingAssistantOf");
+    pub_author = builder->InternPredicate("publicationAuthor");
+    ug_degree = builder->InternPredicate("undergraduateDegreeFrom");
+    ms_degree = builder->InternPredicate("mastersDegreeFrom");
+    phd_degree = builder->InternPredicate("doctoralDegreeFrom");
+    name_p = builder->InternPredicate("name");
+    email_p = builder->InternPredicate("emailAddress");
+    phone_p = builder->InternPredicate("telephone");
+    interest_p = builder->InternPredicate("researchInterest");
+    title_p = builder->InternPredicate("title");
+  }
+};
+
+}  // namespace
+
+graph::GraphDatabase MakeLubmDatabase(const LubmConfig& config) {
+  util::Rng rng(config.seed);
+  graph::GraphDatabaseBuilder builder;
+  Ids ids{&builder};
+  ids.InternPredicates();
+
+  auto node = [&](const std::string& n) { return builder.InternNode(n); };
+  auto add = [&](uint32_t s, uint32_t p, uint32_t o) {
+    util::Status status = builder.AddTripleIds(s, p, o);
+    (void)status;
+  };
+  auto attr = [&](uint32_t s, uint32_t p, const std::string& value) {
+    if (!config.attribute_triples) return;
+    util::Status status =
+        builder.AddTripleIds(s, p, builder.InternLiteral(value));
+    (void)status;
+  };
+
+  uint32_t c_university = node("University");
+  uint32_t c_department = node("Department");
+  uint32_t c_full = node("FullProfessor");
+  uint32_t c_assoc = node("AssociateProfessor");
+  uint32_t c_assist = node("AssistantProfessor");
+  uint32_t c_lecturer = node("Lecturer");
+  uint32_t c_grad = node("GraduateStudent");
+  uint32_t c_ugrad = node("UndergraduateStudent");
+  uint32_t c_course = node("Course");
+  uint32_t c_grad_course = node("GraduateCourse");
+  uint32_t c_publication = node("Publication");
+
+  std::vector<uint32_t> universities;
+  universities.reserve(config.num_universities);
+  for (size_t u = 0; u < config.num_universities; ++u) {
+    uint32_t univ = node("U" + std::to_string(u));
+    universities.push_back(univ);
+    add(univ, ids.type_p, c_university);
+  }
+  auto random_university = [&]() {
+    return universities[rng.NextBounded(universities.size())];
+  };
+
+  for (size_t u = 0; u < config.num_universities; ++u) {
+    uint32_t univ = universities[u];
+    size_t num_depts = 12 + rng.NextBounded(8);
+    for (size_t d = 0; d < num_depts; ++d) {
+      std::string dept_name = "U" + std::to_string(u) + "/D" +
+                              std::to_string(d);
+      uint32_t dept = node(dept_name);
+      add(dept, ids.type_p, c_department);
+      add(dept, ids.sub_org, univ);
+
+      // --- Faculty ---
+      struct Prof {
+        uint32_t id;
+        std::vector<uint32_t> publications;
+        std::vector<uint32_t> courses;
+      };
+      std::vector<Prof> faculty;
+      auto make_prof = [&](const char* code, uint32_t cls, size_t i) {
+        uint32_t prof = node(dept_name + "/" + code + std::to_string(i));
+        add(prof, ids.type_p, cls);
+        add(prof, ids.works_for, dept);
+        add(prof, ids.ug_degree, random_university());
+        add(prof, ids.ms_degree, random_university());
+        add(prof, ids.phd_degree, random_university());
+        attr(prof, ids.name_p, dept_name + "/" + code + std::to_string(i) +
+                                   "-name");
+        attr(prof, ids.email_p,
+             code + std::to_string(i) + "@" + dept_name);
+        attr(prof, ids.phone_p, "555-" + std::to_string(rng.NextBounded(9999)));
+        attr(prof, ids.interest_p,
+             "Research" + std::to_string(rng.NextBounded(25)));
+        faculty.push_back({prof, {}});
+      };
+      size_t num_full = 6 + rng.NextBounded(4);
+      size_t num_assoc = 8 + rng.NextBounded(4);
+      size_t num_assist = 6 + rng.NextBounded(4);
+      for (size_t i = 0; i < num_full; ++i) make_prof("FP", c_full, i);
+      for (size_t i = 0; i < num_assoc; ++i) make_prof("ACP", c_assoc, i);
+      for (size_t i = 0; i < num_assist; ++i) make_prof("ASP", c_assist, i);
+      add(faculty[0].id, ids.head_of, dept);
+      // Professors advise; lecturers (below) teach but never advise, which
+      // is what makes the L0 triangle eliminate nodes transitively.
+      size_t advising_faculty = faculty.size();
+      size_t num_lecturers = 5 + rng.NextBounded(4);
+      for (size_t i = 0; i < num_lecturers; ++i) {
+        make_prof("LEC", c_lecturer, i);
+      }
+
+      // --- Courses: every faculty member teaches 1-2. ---
+      std::vector<uint32_t> courses;
+      std::vector<uint32_t> grad_courses;
+      size_t course_counter = 0;
+      for (Prof& prof : faculty) {
+        size_t teaches = 1 + rng.NextBounded(2);
+        for (size_t c = 0; c < teaches; ++c) {
+          uint32_t course =
+              node(dept_name + "/C" + std::to_string(course_counter++));
+          bool graduate = rng.NextBool(0.35);
+          add(course, ids.type_p, graduate ? c_grad_course : c_course);
+          add(prof.id, ids.teacher_of, course);
+          prof.courses.push_back(course);
+          (graduate ? grad_courses : courses).push_back(course);
+        }
+      }
+      if (grad_courses.empty()) grad_courses = courses;
+      if (courses.empty()) courses = grad_courses;
+
+      // --- Publications. ---
+      size_t pub_counter = 0;
+      for (Prof& prof : faculty) {
+        size_t num_pubs = 4 + rng.NextBounded(8);
+        for (size_t p = 0; p < num_pubs; ++p) {
+          uint32_t pub = node(dept_name + "/P" + std::to_string(pub_counter++));
+          add(pub, ids.type_p, c_publication);
+          add(pub, ids.pub_author, prof.id);
+          attr(pub, ids.title_p,
+               dept_name + "/P" + std::to_string(pub_counter - 1) + "-title");
+          prof.publications.push_back(pub);
+        }
+      }
+
+      // --- Graduate students. ---
+      size_t num_grads = faculty.size() * (2 + rng.NextBounded(2));
+      for (size_t g = 0; g < num_grads; ++g) {
+        uint32_t grad = node(dept_name + "/G" + std::to_string(g));
+        add(grad, ids.type_p, c_grad);
+        add(grad, ids.member_of, dept);
+        uint32_t degree_univ = rng.NextBool(config.same_university_degree_rate)
+                                   ? univ
+                                   : random_university();
+        add(grad, ids.ug_degree, degree_univ);
+        const Prof& adv = faculty[rng.NextBounded(advising_faculty)];
+        add(grad, ids.advisor, adv.id);
+        size_t num_courses = 1 + rng.NextBounded(3);
+        for (size_t c = 0; c < num_courses; ++c) {
+          add(grad, ids.takes_course,
+              grad_courses[rng.NextBounded(grad_courses.size())]);
+        }
+        // Half the students take one of their advisor's courses — this is
+        // what closes the cyclic cores of L0 (Fig. 6(a)) at a realistic
+        // rate, as in real LUBM.
+        if (rng.NextBool(0.5) && !adv.courses.empty()) {
+          add(grad, ids.takes_course,
+              adv.courses[rng.NextBounded(adv.courses.size())]);
+        }
+        if (rng.NextBool(0.25) && !adv.publications.empty()) {
+          add(adv.publications[rng.NextBounded(adv.publications.size())],
+              ids.pub_author, grad);
+        }
+        if (rng.NextBool(0.2)) {
+          add(grad, ids.ta_of, courses[rng.NextBounded(courses.size())]);
+        }
+        attr(grad, ids.name_p, dept_name + "/G" + std::to_string(g) + "-name");
+        attr(grad, ids.email_p, "g" + std::to_string(g) + "@" + dept_name);
+      }
+
+      // --- Undergraduate students. ---
+      size_t num_ugrads = faculty.size() * (8 + rng.NextBounded(4));
+      for (size_t g = 0; g < num_ugrads; ++g) {
+        uint32_t ugrad = node(dept_name + "/UG" + std::to_string(g));
+        add(ugrad, ids.type_p, c_ugrad);
+        add(ugrad, ids.member_of, dept);
+        size_t num_courses = 2 + rng.NextBounded(3);
+        for (size_t c = 0; c < num_courses; ++c) {
+          add(ugrad, ids.takes_course,
+              courses[rng.NextBounded(courses.size())]);
+        }
+        attr(ugrad, ids.name_p,
+             dept_name + "/UG" + std::to_string(g) + "-name");
+      }
+    }
+  }
+
+  return std::move(builder).Build();
+}
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph_database.h"
+
+namespace sparqlsim::datagen {
+
+/// Configuration of the LUBM-like university generator.
+///
+/// The paper's LUBM findings (Sect. 5) hinge on the dataset's *low label
+/// diversity*: 18 predicates spread over a billion triples, which makes
+/// predicates unselective, drives the SOI fixpoint to many iterations on
+/// cyclic queries (L0), and weakens pruning (L1). This generator keeps
+/// LUBM's schema — universities, departments, faculty, students, courses,
+/// publications and exactly the LUBM-style predicate set — and scales the
+/// instance count down to laptop size.
+struct LubmConfig {
+  size_t num_universities = 3;
+  uint64_t seed = 42;
+  /// Emit name/email/telephone literal attributes.
+  bool attribute_triples = true;
+  /// Probability that a graduate student's undergraduate degree is from
+  /// the university of their own department — the knob that makes the
+  /// cyclic L1 query satisfiable.
+  double same_university_degree_rate = 0.2;
+};
+
+/// Node naming: "U3" (university), "U3/D5" (department), "U3/D5/FP0"
+/// full / "ACP" associate / "ASP" assistant professors, "G" graduate and
+/// "UG" undergraduate students, "C" courses, "P" publications. Class nodes
+/// ("University", "FullProfessor", ...) hang off the "rdf:type" predicate.
+graph::GraphDatabase MakeLubmDatabase(const LubmConfig& config = {});
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,44 @@
+#include "datagen/movies.h"
+
+namespace sparqlsim::datagen {
+
+graph::GraphDatabase MakeMovieDatabase() {
+  graph::GraphDatabaseBuilder builder;
+  auto add = [&](const char* s, const char* p, const char* o) {
+    util::Status status = builder.AddTriple(s, p, o);
+    (void)status;
+  };
+  auto add_lit = [&](const char* s, const char* p, const char* o) {
+    util::Status status = builder.AddTripleLiteral(s, p, o);
+    (void)status;
+  };
+
+  // Fig. 1(a), transcribed edge by edge.
+  add("B. De Palma", "directed", "Mission: Impossible");
+  add("Mission: Impossible", "awarded", "Oscar");
+  add("B. De Palma", "born_in", "Newark");
+  add("Mission: Impossible", "genre", "Action");
+  add("Goldfinger", "genre", "Action");
+  add("G. Hamilton", "directed", "Goldfinger");
+  add("G. Hamilton", "born_in", "Paris");
+  add("Thunderball", "sequel_of", "Goldfinger");
+  add("Thunderball", "awarded", "Oscar");
+  add("G. Hamilton", "worked_with", "H. Saltzman");
+  add("H. Saltzman", "born_in", "Saint John");
+  add("From Russia with Love", "prequel_of", "Goldfinger");
+  add("T. Young", "directed", "From Russia with Love");
+  add("From Russia with Love", "awarded", "BAFTA Awards");
+  add("B. De Palma", "worked_with", "D. Koepp");
+  add("D. Koepp", "directed", "Mortdecai");
+  // Note the direction: T. Young has only an *incoming* worked_with edge,
+  // which is why (X1) does not list him as a director while the optional
+  // query (X2) does (Sect. 4.3).
+  add("P.R. Hunt", "worked_with", "T. Young");
+  add_lit("Newark", "population", "277140");
+  add_lit("Paris", "population", "2220445");
+  add_lit("Saint John", "population", "70063");
+
+  return std::move(builder).Build();
+}
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,13 @@
+#pragma once
+
+#include "graph/graph_database.h"
+
+namespace sparqlsim::datagen {
+
+/// The example graph database of Fig. 1(a) in the paper: movies, directors,
+/// awards, and birthplaces around "Mission: Impossible" and the early Bond
+/// films. Used by the quickstart example and by the worked-example tests
+/// that replay dual simulations (1) and (2) of Sect. 2.
+graph::GraphDatabase MakeMovieDatabase();
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,151 @@
+#include "datagen/queries.h"
+
+namespace sparqlsim::datagen {
+
+std::vector<NamedQuery> LubmQueries() {
+  return {
+      // L0 — the cyclic advisor/course/teacher triangle of Fig. 6(a): low
+      // predicate selectivity, large result, many fixpoint iterations.
+      {"L0",
+       "SELECT * WHERE { ?student <advisor> ?professor . "
+       "?student <takesCourse> ?course . "
+       "?professor <teacherOf> ?course . "
+       "OPTIONAL { ?professor <emailAddress> ?email . } }"},
+      // L1 — Fig. 6(b): publication with a student author and a professor
+      // author affiliated with the same department, which belongs to the
+      // university the student got their undergraduate degree from.
+      {"L1",
+       "SELECT * WHERE { ?publication a <Publication> . "
+       "?publication <publicationAuthor> ?student . "
+       "?publication <publicationAuthor> ?professor . "
+       "?student <memberOf> ?department . "
+       "?professor <worksFor> ?department . "
+       "?department <subOrganizationOf> ?university . "
+       "?student <undergraduateDegreeFrom> ?university . "
+       "OPTIONAL { ?professor <emailAddress> ?email . } }"},
+      // L2 — another cyclic triangle (worksFor/memberOf/advisor) with a
+      // large result and an optional fan-out over courses.
+      {"L2",
+       "SELECT * WHERE { ?professor <worksFor> ?department . "
+       "?student <memberOf> ?department . "
+       "?student <advisor> ?professor . "
+       "OPTIONAL { ?student <takesCourse> ?course . } }"},
+      // L3 — constant-anchored, highly selective.
+      {"L3",
+       "SELECT * WHERE { ?x <worksFor> <U0/D0> . "
+       "?x a <FullProfessor> . "
+       "OPTIONAL { ?x <doctoralDegreeFrom> ?univ . } }"},
+      // L4 — department heads of one university.
+      {"L4",
+       "SELECT * WHERE { ?x <headOf> ?d . "
+       "?d <subOrganizationOf> <U0> . "
+       "OPTIONAL { ?x <emailAddress> ?e . } }"},
+      // L5 — advisees of the head of one department.
+      {"L5",
+       "SELECT * WHERE { ?s <advisor> ?p . "
+       "?p <headOf> <U0/D0> . "
+       "OPTIONAL { ?s <emailAddress> ?e . } }"},
+  };
+}
+
+std::vector<NamedQuery> DbpediaQueries() {
+  return {
+      // D0 — films with directors, optional director birthplace.
+      {"D0",
+       "SELECT * WHERE { ?film a <Film> . ?film <director> ?d . "
+       "OPTIONAL { ?d <birthPlace> ?city . } }"},
+      // D1 — empty: only cities carry populationTotal, directors are
+      // persons.
+      {"D1",
+       "SELECT * WHERE { ?x <director> ?y . ?y <populationTotal> ?p . "
+       "OPTIONAL { ?y <birthPlace> ?c . } }"},
+      // D2 — constant city anchor, selective.
+      {"D2",
+       "SELECT * WHERE { ?p <birthPlace> <City17> . ?p <spouse> ?q . "
+       "OPTIONAL { ?q <almaMater> ?u . } }"},
+      // D3 — bands, members, member birthplaces; optional country.
+      {"D3",
+       "SELECT * WHERE { ?b a <Band> . ?b <bandMember> ?m . "
+       "?m <birthPlace> ?c . OPTIONAL { ?c <country> ?k . } }"},
+      // D4 — very large: every person with birthplace and its country.
+      {"D4",
+       "SELECT * WHERE { ?p a <Person> . ?p <birthPlace> ?c . "
+       "?c <country> ?k . OPTIONAL { ?p <almaMater> ?u . } }"},
+      // D5 — star cast spouses, optional birthplace.
+      {"D5",
+       "SELECT * WHERE { ?f <starring> ?a . ?a <spouse> ?s . "
+       "OPTIONAL { ?s <birthPlace> ?c . } }"},
+  };
+}
+
+std::vector<NamedQuery> BenchmarkQueries() {
+  return {
+      // B0 — constant genre anchor, star around films.
+      {"B0",
+       "SELECT * WHERE { ?f <genre> <Genre0> . ?f <director> ?d . "
+       "?d <birthPlace> ?c . }"},
+      // B1 — large 2-chain: person -> city -> country.
+      {"B1", "SELECT * WHERE { ?p <birthPlace> ?c . ?c <country> ?k . }"},
+      // B2 — large 2-chain through starring.
+      {"B2", "SELECT * WHERE { ?f <starring> ?a . ?a <birthPlace> ?c . }"},
+      // B3 — cyclic: actor married to the film's director.
+      {"B3",
+       "SELECT * WHERE { ?f <director> ?d . ?f <starring> ?a . "
+       "?a <spouse> ?d . }"},
+      // B4 — empty: the constant does not exist in the database.
+      {"B4", "SELECT * WHERE { ?x <director> <NoSuchFilm> . }"},
+      // B5 — empty: cities do not direct films.
+      {"B5",
+       "SELECT * WHERE { ?x <populationTotal> ?y . ?x <director> ?z . }"},
+      // B6 — alma mater chain.
+      {"B6",
+       "SELECT * WHERE { ?a <almaMater> ?u . ?u <locatedIn> ?c . }"},
+      // B7 — constant employer.
+      {"B7",
+       "SELECT * WHERE { ?p <employer> <Company0> . ?p <birthPlace> ?c . }"},
+      // B8 — triangle: spouses born in the same city.
+      {"B8",
+       "SELECT * WHERE { ?a <spouse> ?b . ?a <birthPlace> ?c . "
+       "?b <birthPlace> ?c . }"},
+      // B9 — albums of bands of one genre.
+      {"B9",
+       "SELECT * WHERE { ?album <artist> ?band . ?band <genre> <Genre3> . }"},
+      // B10 — books by authors born in one country.
+      {"B10",
+       "SELECT * WHERE { ?book <author> ?w . ?w <birthPlace> ?c . "
+       "?c <country> <Country0> . }"},
+      // B11 — awarded films.
+      {"B11", "SELECT * WHERE { ?f a <Film> . ?f <award> ?aw . }"},
+      // B12 — founders and their universities.
+      {"B12",
+       "SELECT * WHERE { ?c <foundedBy> ?p . ?p <almaMater> ?u . }"},
+      // B13 — 4-chain: film -> actor -> university -> city -> country.
+      {"B13",
+       "SELECT * WHERE { ?f <starring> ?a . ?a <almaMater> ?u . "
+       "?u <locatedIn> ?c . ?c <country> ?k . }"},
+      // B14 — large star: co-star pairs with genre.
+      {"B14",
+       "SELECT * WHERE { ?f <starring> ?a1 . ?f <starring> ?a2 . "
+       "?f <genre> ?g . }"},
+      // B15 — empty: sequels are films, films have no population.
+      {"B15",
+       "SELECT * WHERE { ?x <sequel_of> ?y . ?y <populationTotal> ?z . }"},
+      // B16 — tiny: second-order sequels.
+      {"B16",
+       "SELECT * WHERE { ?f <sequel_of> ?g . ?g <sequel_of> ?h . }"},
+      // B17 — large: typed actors with films and directors.
+      {"B17",
+       "SELECT * WHERE { ?p a <Actor> . ?f <starring> ?p . "
+       "?f <director> ?d . }"},
+      // B18 — constant birth city of directors.
+      {"B18",
+       "SELECT * WHERE { ?f <director> ?d . ?d <birthPlace> <City0> . "
+       "?f <genre> ?g . }"},
+      // B19 — band members' spouses' birthplaces.
+      {"B19",
+       "SELECT * WHERE { ?b <bandMember> ?m . ?m <spouse> ?s . "
+       "?s <birthPlace> ?c . }"},
+  };
+}
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sparqlsim::datagen {
+
+/// A benchmark query: its paper id (L0, D3, B17, ...) and SPARQL text.
+struct NamedQuery {
+  std::string id;
+  std::string text;
+};
+
+/// The L0-L5 analogues for the LUBM-like dataset (the paper relies on
+/// Atre's LUBM OPTIONAL queries; the mandatory cores of L0/L1 follow
+/// Fig. 6 exactly). All six carry OPTIONAL parts.
+std::vector<NamedQuery> LubmQueries();
+
+/// The D0-D5 analogues for the DBpedia-like dataset: OPTIONAL-heavy
+/// queries in the style of Atre's DBpedia workload (D1 is empty).
+std::vector<NamedQuery> DbpediaQueries();
+
+/// The B0-B19 analogues of the DBpedia SPARQL benchmark BGPs: stars,
+/// chains, cycles, constant-bound and empty queries (B4/B5/B15 are empty).
+std::vector<NamedQuery> BenchmarkQueries();
+
+}  // namespace sparqlsim::datagen

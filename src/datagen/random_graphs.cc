@@ -1,0 +1,54 @@
+#include "datagen/random_graphs.h"
+
+#include <string>
+
+namespace sparqlsim::datagen {
+
+graph::GraphDatabase MakeRandomDatabase(const RandomGraphConfig& config) {
+  util::Rng rng(config.seed);
+  graph::GraphDatabaseBuilder builder;
+  std::vector<uint32_t> nodes;
+  nodes.reserve(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    nodes.push_back(builder.InternNode("n" + std::to_string(i)));
+  }
+  std::vector<uint32_t> predicates;
+  predicates.reserve(config.num_labels);
+  for (size_t i = 0; i < config.num_labels; ++i) {
+    predicates.push_back(builder.InternPredicate("p" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < config.num_edges; ++i) {
+    uint32_t s = nodes[rng.NextBounded(nodes.size())];
+    uint32_t p = predicates[rng.NextBounded(predicates.size())];
+    uint32_t o = nodes[rng.NextBounded(nodes.size())];
+    util::Status status = builder.AddTripleIds(s, p, o);
+    (void)status;
+  }
+  return std::move(builder).Build();
+}
+
+graph::Graph MakeRandomPattern(size_t num_nodes, size_t num_extra_edges,
+                               size_t num_labels, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g(num_nodes);
+  // Random spanning structure: node i attaches to a random earlier node,
+  // in a random direction, so the pattern is connected.
+  for (size_t i = 1; i < num_nodes; ++i) {
+    uint32_t other = static_cast<uint32_t>(rng.NextBounded(i));
+    uint32_t label = static_cast<uint32_t>(rng.NextBounded(num_labels));
+    if (rng.NextBool(0.5)) {
+      g.AddEdge(static_cast<uint32_t>(i), label, other);
+    } else {
+      g.AddEdge(other, label, static_cast<uint32_t>(i));
+    }
+  }
+  for (size_t i = 0; i < num_extra_edges; ++i) {
+    uint32_t from = static_cast<uint32_t>(rng.NextBounded(num_nodes));
+    uint32_t to = static_cast<uint32_t>(rng.NextBounded(num_nodes));
+    uint32_t label = static_cast<uint32_t>(rng.NextBounded(num_labels));
+    g.AddEdge(from, label, to);
+  }
+  return g;
+}
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "util/rng.h"
+
+namespace sparqlsim::datagen {
+
+/// Parameters for a uniformly random edge-labeled directed multigraph.
+struct RandomGraphConfig {
+  size_t num_nodes = 50;
+  size_t num_edges = 150;
+  size_t num_labels = 3;
+  uint64_t seed = 1;
+};
+
+/// Generates a random labeled data graph as a GraphDatabase (nodes named
+/// n0..n{k-1}, predicates p0..p{l-1}). Property tests sweep seeds/sizes.
+graph::GraphDatabase MakeRandomDatabase(const RandomGraphConfig& config);
+
+/// Generates a random *connected* pattern graph: a random (undirected-
+/// sense) spanning tree plus extra edges, labels uniform in
+/// [0, num_labels). Suitable as the left-hand side of a dual simulation
+/// against a database built with the same label count.
+graph::Graph MakeRandomPattern(size_t num_nodes, size_t num_extra_edges,
+                               size_t num_labels, uint64_t seed);
+
+}  // namespace sparqlsim::datagen

@@ -1,0 +1,90 @@
+#include "engine/explain.h"
+
+#include <sstream>
+
+#include "sparql/normalize.h"
+
+namespace sparqlsim::engine {
+
+namespace {
+
+void Indent(std::ostringstream* out, int depth) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+}
+
+void ExplainNode(const sparql::Pattern& node, const graph::GraphDatabase& db,
+                 const Evaluator& evaluator, int depth,
+                 std::ostringstream* out) {
+  switch (node.kind()) {
+    case sparql::PatternKind::kBgp: {
+      Indent(out, depth);
+      *out << "BGP (" << node.triples().size() << " patterns)\n";
+      std::vector<size_t> plan = evaluator.PlanBgp(node.triples());
+      for (size_t step = 0; step < plan.size(); ++step) {
+        const sparql::TriplePattern& t = node.triples()[plan[step]];
+        Indent(out, depth + 1);
+        *out << step + 1 << ". " << t.ToString();
+        auto p = db.predicates().Lookup(t.predicate.text());
+        if (p) {
+          *out << "   [card=" << db.PredicateCardinality(*p)
+               << " subj=" << db.DistinctSubjects(*p)
+               << " obj=" << db.DistinctObjects(*p) << "]";
+        } else {
+          *out << "   [absent predicate -> empty]";
+        }
+        *out << "\n";
+      }
+      break;
+    }
+    case sparql::PatternKind::kJoin:
+      Indent(out, depth);
+      *out << "JOIN\n";
+      ExplainNode(node.left(), db, evaluator, depth + 1, out);
+      ExplainNode(node.right(), db, evaluator, depth + 1, out);
+      break;
+    case sparql::PatternKind::kOptional:
+      Indent(out, depth);
+      *out << "LEFT OUTER JOIN (OPTIONAL)\n";
+      ExplainNode(node.left(), db, evaluator, depth + 1, out);
+      ExplainNode(node.right(), db, evaluator, depth + 1, out);
+      break;
+    case sparql::PatternKind::kUnion:
+      Indent(out, depth);
+      *out << "UNION\n";
+      ExplainNode(node.left(), db, evaluator, depth + 1, out);
+      ExplainNode(node.right(), db, evaluator, depth + 1, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ExplainQuery(const sparql::Query& query,
+                         const graph::GraphDatabase& db,
+                         const EvaluatorOptions& options) {
+  Evaluator evaluator(&db, options);
+  std::ostringstream out;
+  out << "policy: ";
+  switch (options.policy) {
+    case JoinOrderPolicy::kRdfoxLike:
+      out << "rdfox-like (greedy dynamic)\n";
+      break;
+    case JoinOrderPolicy::kVirtuosoLike:
+      out << "virtuoso-like (static statistics)\n";
+      break;
+    case JoinOrderPolicy::kAsWritten:
+      out << "as-written\n";
+      break;
+  }
+  if (!query.projection.empty()) {
+    out << "project:";
+    for (const std::string& v : query.projection) out << " ?" << v;
+    out << (query.distinct ? " (distinct)" : "") << "\n";
+  }
+  std::unique_ptr<sparql::Pattern> merged =
+      sparql::MergeBgps(query.where->Clone());
+  ExplainNode(*merged, db, evaluator, 0, &out);
+  return out.str();
+}
+
+}  // namespace sparqlsim::engine

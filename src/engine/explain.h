@@ -1,0 +1,20 @@
+#pragma once
+
+#include <string>
+
+#include "engine/evaluator.h"
+#include "graph/graph_database.h"
+#include "sparql/ast.h"
+
+namespace sparqlsim::engine {
+
+/// Renders the evaluation plan the engine would execute for a query under
+/// the given policy: the algebra tree with, for every BGP, the join order
+/// chosen by the planner and the per-step cardinality estimates. This is
+/// the introspection used to understand the Table 4/5 re-planning effects
+/// (the paper analysed Virtuoso's query plans the same way, Sect. 5.2).
+std::string ExplainQuery(const sparql::Query& query,
+                         const graph::GraphDatabase& db,
+                         const EvaluatorOptions& options = {});
+
+}  // namespace sparqlsim::engine

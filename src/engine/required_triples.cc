@@ -1,0 +1,86 @@
+#include "engine/required_triples.h"
+
+#include <algorithm>
+
+#include "sparql/normalize.h"
+
+namespace sparqlsim::engine {
+
+namespace {
+
+void CollectTriplePatterns(const sparql::Pattern& p,
+                           std::vector<sparql::TriplePattern>* out) {
+  if (p.IsBgp()) {
+    for (const sparql::TriplePattern& t : p.triples()) out->push_back(t);
+    return;
+  }
+  CollectTriplePatterns(p.left(), out);
+  CollectTriplePatterns(p.right(), out);
+}
+
+}  // namespace
+
+std::vector<graph::Triple> CollectRequiredTriples(
+    const sparql::Query& query, const graph::GraphDatabase& db,
+    const Evaluator& evaluator) {
+  std::vector<graph::Triple> required;
+
+  for (const auto& branch : sparql::UnionNormalForm(*query.where)) {
+    SolutionSet rows = evaluator.EvaluatePattern(*branch);
+    std::vector<sparql::TriplePattern> patterns;
+    CollectTriplePatterns(*branch, &patterns);
+
+    // Pre-resolve pattern slots against the schema and dictionaries.
+    struct Resolved {
+      int s_index;        // schema position, or -1 for constants
+      int o_index;
+      uint32_t s_const;   // node id when constant
+      uint32_t o_const;
+      uint32_t predicate;
+      bool usable;
+    };
+    std::vector<Resolved> resolved;
+    for (const sparql::TriplePattern& t : patterns) {
+      Resolved r{-1, -1, kUnbound, kUnbound, 0, true};
+      auto p = db.predicates().Lookup(t.predicate.text());
+      if (!p) {
+        r.usable = false;
+      } else {
+        r.predicate = *p;
+      }
+      if (t.subject.IsVariable()) {
+        r.s_index = rows.IndexOf(t.subject.text());
+      } else if (auto id = db.nodes().Lookup(t.subject.text())) {
+        r.s_const = *id;
+      } else {
+        r.usable = false;
+      }
+      if (t.object.IsVariable()) {
+        r.o_index = rows.IndexOf(t.object.text());
+      } else if (auto id = db.nodes().Lookup(t.object.text())) {
+        r.o_const = *id;
+      } else {
+        r.usable = false;
+      }
+      resolved.push_back(r);
+    }
+
+    for (size_t i = 0; i < rows.NumRows(); ++i) {
+      for (const Resolved& r : resolved) {
+        if (!r.usable) continue;
+        uint32_t s = r.s_index >= 0 ? rows.Row(i)[r.s_index] : r.s_const;
+        uint32_t o = r.o_index >= 0 ? rows.Row(i)[r.o_index] : r.o_const;
+        if (s == kUnbound || o == kUnbound) continue;
+        if (!db.Forward(r.predicate).Test(s, o)) continue;
+        required.push_back({s, r.predicate, o});
+      }
+    }
+  }
+
+  std::sort(required.begin(), required.end());
+  required.erase(std::unique(required.begin(), required.end()),
+                 required.end());
+  return required;
+}
+
+}  // namespace sparqlsim::engine

@@ -1,0 +1,90 @@
+#include "engine/solution_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace sparqlsim::engine {
+
+SolutionSet::SolutionSet(std::vector<std::string> vars)
+    : vars_(std::move(vars)) {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    index_.emplace(vars_[i], static_cast<int>(i));
+  }
+}
+
+int SolutionSet::IndexOf(const std::string& var) const {
+  auto it = index_.find(var);
+  return it == index_.end() ? -1 : it->second;
+}
+
+void SolutionSet::AddRow(std::span<const uint32_t> row) {
+  assert(row.size() == vars_.size());
+  if (vars_.empty()) {
+    ++unit_rows_;
+    return;
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+void SolutionSet::AddUnboundRow() {
+  if (vars_.empty()) {
+    ++unit_rows_;
+    return;
+  }
+  data_.insert(data_.end(), vars_.size(), kUnbound);
+}
+
+void SolutionSet::SortAndDedupe() {
+  if (vars_.empty()) {
+    unit_rows_ = unit_rows_ > 0 ? 1 : 0;
+    return;
+  }
+  const size_t w = vars_.size();
+  const size_t rows = NumRows();
+  std::vector<uint32_t> perm(rows);
+  std::iota(perm.begin(), perm.end(), 0);
+  auto cmp = [&](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(
+        data_.begin() + a * w, data_.begin() + (a + 1) * w,
+        data_.begin() + b * w, data_.begin() + (b + 1) * w);
+  };
+  auto eq = [&](uint32_t a, uint32_t b) {
+    return std::equal(data_.begin() + a * w, data_.begin() + (a + 1) * w,
+                      data_.begin() + b * w);
+  };
+  std::sort(perm.begin(), perm.end(), cmp);
+  std::vector<uint32_t> out;
+  out.reserve(data_.size());
+  for (size_t i = 0; i < rows; ++i) {
+    if (i > 0 && eq(perm[i], perm[i - 1])) continue;
+    out.insert(out.end(), data_.begin() + perm[i] * w,
+               data_.begin() + (perm[i] + 1) * w);
+  }
+  data_ = std::move(out);
+}
+
+std::string SolutionSet::ToString(const graph::GraphDatabase& db,
+                                  size_t max_rows) const {
+  std::ostringstream out;
+  for (const std::string& v : vars_) out << "?" << v << "\t";
+  out << "\n";
+  size_t rows = std::min(NumRows(), max_rows);
+  for (size_t i = 0; i < rows; ++i) {
+    for (uint32_t value : Row(i)) {
+      if (value == kUnbound) {
+        out << "--\t";
+      } else {
+        out << db.nodes().Name(value) << "\t";
+      }
+    }
+    out << "\n";
+  }
+  if (NumRows() > max_rows) {
+    out << "... (" << NumRows() - max_rows << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sparqlsim::engine

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_database.h"
+
+namespace sparqlsim::engine {
+
+/// Sentinel for a variable left unbound by an OPTIONAL or UNION branch —
+/// the partial-mapping semantics of SPARQL (dom(mu), Sect. 4.1).
+constexpr uint32_t kUnbound = 0xFFFFFFFF;
+
+/// A table of solution mappings over a fixed variable schema.
+///
+/// Each row assigns a database node id (or kUnbound) to every schema
+/// variable; rows are stored flat for locality. This is the engine's
+/// counterpart of the paper's match sets [[Q]]_DB.
+class SolutionSet {
+ public:
+  SolutionSet() = default;
+  explicit SolutionSet(std::vector<std::string> vars);
+
+  size_t Arity() const { return vars_.size(); }
+  size_t NumRows() const {
+    return vars_.empty() ? unit_rows_ : data_.size() / vars_.size();
+  }
+
+  const std::vector<std::string>& vars() const { return vars_; }
+
+  /// Schema position of `var`, or -1.
+  int IndexOf(const std::string& var) const;
+
+  std::span<const uint32_t> Row(size_t i) const {
+    return {data_.data() + i * vars_.size(), vars_.size()};
+  }
+
+  void AddRow(std::span<const uint32_t> row);
+
+  /// Adds a row where every variable is unbound (or, for arity 0, the
+  /// empty mapping — the unit solution).
+  void AddUnboundRow();
+
+  /// Value of `var` in row i (kUnbound if var is not in the schema).
+  uint32_t Value(size_t i, int var_index) const {
+    return var_index < 0 ? kUnbound : Row(i)[var_index];
+  }
+
+  /// Lexicographically sorts rows and removes duplicates (DISTINCT).
+  void SortAndDedupe();
+
+  /// Renders up to max_rows rows with dictionary names, for examples.
+  std::string ToString(const graph::GraphDatabase& db,
+                       size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> vars_;
+  std::unordered_map<std::string, int> index_;
+  std::vector<uint32_t> data_;
+  size_t unit_rows_ = 0;  // row count when arity is 0
+};
+
+}  // namespace sparqlsim::engine

@@ -1,0 +1,157 @@
+#include "graph/binary_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace sparqlsim::graph {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'Q', 'S', 'I', 'M', 'D', 'B', '1'};
+
+void PutVarint(uint64_t value, std::ostream& out) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+bool GetVarint(std::istream& in, uint64_t* value) {
+  *value = 0;
+  unsigned shift = 0;
+  while (true) {
+    int byte = in.get();
+    if (byte == EOF) return false;
+    *value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift > 63) return false;
+  }
+}
+
+void PutString(const std::string& s, std::ostream& out) {
+  PutVarint(s.size(), out);
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool GetString(std::istream& in, std::string* s) {
+  uint64_t length = 0;
+  if (!GetVarint(in, &length)) return false;
+  s->resize(length);
+  in.read(s->data(), static_cast<std::streamsize>(length));
+  return static_cast<uint64_t>(in.gcount()) == length;
+}
+
+}  // namespace
+
+void BinaryIo::Save(const GraphDatabase& db, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  PutVarint(db.NumNodes(), out);
+  PutVarint(db.NumPredicates(), out);
+  for (uint32_t node = 0; node < db.NumNodes(); ++node) {
+    PutString(db.nodes().Name(node), out);
+    out.put(db.IsLiteral(node) ? 1 : 0);
+  }
+  for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
+    PutString(db.predicates().Name(p), out);
+  }
+  for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
+    const util::BitMatrix& m = db.Forward(p);
+    PutVarint(m.NumNonEmptyRows(), out);
+    uint32_t previous_row = 0;
+    for (uint32_t row : m.NonEmptyRows()) {
+      auto cols = m.Row(row);
+      PutVarint(row - previous_row, out);
+      previous_row = row;
+      PutVarint(cols.size(), out);
+      uint32_t previous_col = 0;
+      for (uint32_t col : cols) {
+        PutVarint(col - previous_col, out);
+        previous_col = col;
+      }
+    }
+  }
+}
+
+util::Status BinaryIo::SaveFile(const GraphDatabase& db,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::Error("cannot write " + path);
+  Save(db, out);
+  return out.good() ? util::Status::Ok()
+                    : util::Status::Error("write failure on " + path);
+}
+
+util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::Error("not a sparqlsim binary database");
+  }
+  uint64_t num_nodes = 0, num_predicates = 0;
+  if (!GetVarint(in, &num_nodes) || !GetVarint(in, &num_predicates)) {
+    return util::Status::Error("truncated header");
+  }
+
+  GraphDatabaseBuilder builder;
+  std::string name;
+  for (uint64_t i = 0; i < num_nodes; ++i) {
+    if (!GetString(in, &name)) return util::Status::Error("truncated nodes");
+    int literal = in.get();
+    if (literal == EOF) return util::Status::Error("truncated nodes");
+    // First-seen interning preserves the original dense ids.
+    uint32_t id = literal ? builder.InternLiteral(name)
+                          : builder.InternNode(name);
+    if (id != i) return util::Status::Error("duplicate node entry");
+  }
+  for (uint64_t p = 0; p < num_predicates; ++p) {
+    if (!GetString(in, &name)) {
+      return util::Status::Error("truncated predicates");
+    }
+    if (builder.InternPredicate(name) != p) {
+      return util::Status::Error("duplicate predicate entry");
+    }
+  }
+  for (uint32_t p = 0; p < num_predicates; ++p) {
+    uint64_t num_rows = 0;
+    if (!GetVarint(in, &num_rows)) {
+      return util::Status::Error("truncated matrix header");
+    }
+    uint64_t row = 0;
+    for (uint64_t r = 0; r < num_rows; ++r) {
+      uint64_t row_delta = 0, degree = 0;
+      if (!GetVarint(in, &row_delta) || !GetVarint(in, &degree)) {
+        return util::Status::Error("truncated row");
+      }
+      row += row_delta;
+      uint64_t col = 0;
+      for (uint64_t c = 0; c < degree; ++c) {
+        uint64_t col_delta = 0;
+        if (!GetVarint(in, &col_delta)) {
+          return util::Status::Error("truncated columns");
+        }
+        col += col_delta;
+        if (row >= num_nodes || col >= num_nodes) {
+          return util::Status::Error("triple id out of range");
+        }
+        util::Status status =
+            builder.AddTripleIds(static_cast<uint32_t>(row), p,
+                                 static_cast<uint32_t>(col));
+        if (!status.ok()) return status;
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<GraphDatabase> BinaryIo::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::Error("cannot open " + path);
+  return Load(in);
+}
+
+}  // namespace sparqlsim::graph

@@ -1,0 +1,20 @@
+#include "graph/dictionary.h"
+
+namespace sparqlsim::graph {
+
+uint32_t Dictionary::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::Lookup(std::string_view name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sparqlsim::graph

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sparqlsim::graph {
+
+/// Bidirectional string <-> dense-id mapping (dictionary encoding).
+///
+/// Graph databases in this repository never operate on strings internally:
+/// nodes (IRIs and literals) and predicates are interned once at load time
+/// and all matrices, candidate vectors, and solution tables are indexed by
+/// the resulting dense 32-bit ids.
+class Dictionary {
+ public:
+  /// Returns the id of `name`, interning it if new. Ids are dense and
+  /// assigned in first-seen order.
+  uint32_t Intern(std::string_view name);
+
+  /// Returns the id of `name` if present.
+  std::optional<uint32_t> Lookup(std::string_view name) const;
+
+  /// Returns the string for an id. The id must be valid.
+  const std::string& Name(uint32_t id) const { return names_[id]; }
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // Heterogeneous hashing so Lookup(string_view) never allocates.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, uint32_t, StringHash, std::equal_to<>>
+      index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace sparqlsim::graph

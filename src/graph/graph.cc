@@ -1,0 +1,38 @@
+#include "graph/graph.h"
+
+#include <cassert>
+
+namespace sparqlsim::graph {
+
+void Graph::AddEdge(uint32_t from, uint32_t label, uint32_t to) {
+  assert(from < num_nodes_ && to < num_nodes_);
+  edges_.push_back({from, label, to});
+  if (label >= label_bound_) label_bound_ = label + 1;
+}
+
+bool Graph::IsConnected() const {
+  if (num_nodes_ == 0) return true;
+  std::vector<std::vector<uint32_t>> adjacency(num_nodes_);
+  for (const LabeledEdge& e : edges_) {
+    adjacency[e.from].push_back(e.to);
+    adjacency[e.to].push_back(e.from);
+  }
+  std::vector<bool> seen(num_nodes_, false);
+  std::vector<uint32_t> stack = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  while (!stack.empty()) {
+    uint32_t v = stack.back();
+    stack.pop_back();
+    for (uint32_t w : adjacency[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        stack.push_back(w);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+}  // namespace sparqlsim::graph

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sparqlsim::graph {
+
+/// A labeled directed edge of a pattern graph.
+struct LabeledEdge {
+  uint32_t from;
+  uint32_t label;
+  uint32_t to;
+
+  friend bool operator==(const LabeledEdge&, const LabeledEdge&) = default;
+};
+
+/// An edge-labeled directed graph G = (V, Sigma, E) with nodes 0..n-1
+/// (Sect. 2 of the paper).
+///
+/// This small edge-list representation is used for *pattern* graphs: the
+/// graph representation G(G) of a basic graph pattern, the left-hand side
+/// of a dual simulation. Data graphs use the matrix-backed GraphDatabase.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds a node and returns its id.
+  uint32_t AddNode() { return static_cast<uint32_t>(num_nodes_++); }
+
+  /// Adds edge (from, label, to); endpoints must already exist.
+  void AddEdge(uint32_t from, uint32_t label, uint32_t to);
+
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumEdges() const { return edges_.size(); }
+  std::span<const LabeledEdge> edges() const { return edges_; }
+
+  /// Largest label id used, plus one (0 for an edgeless graph).
+  uint32_t LabelUpperBound() const { return label_bound_; }
+
+  /// True iff every node is reachable from node 0 when edge directions are
+  /// ignored. Isolated-node patterns degrade dual simulation guarantees, so
+  /// generators assert this.
+  bool IsConnected() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  uint32_t label_bound_ = 0;
+  std::vector<LabeledEdge> edges_;
+};
+
+}  // namespace sparqlsim::graph

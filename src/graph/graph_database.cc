@@ -1,0 +1,142 @@
+#include "graph/graph_database.h"
+
+#include <utility>
+
+#include "util/gap_codec.h"
+
+namespace sparqlsim::graph {
+
+GraphDatabaseBuilder::GraphDatabaseBuilder()
+    : nodes_(std::make_shared<Dictionary>()),
+      predicates_(std::make_shared<Dictionary>()),
+      is_literal_(std::make_shared<std::vector<bool>>()) {}
+
+uint32_t GraphDatabaseBuilder::InternNode(std::string_view name) {
+  uint32_t id = nodes_->Intern(name);
+  if (id >= is_literal_->size()) is_literal_->resize(id + 1, false);
+  return id;
+}
+
+uint32_t GraphDatabaseBuilder::InternLiteral(std::string_view value) {
+  uint32_t id = nodes_->Intern(value);
+  if (id >= is_literal_->size()) {
+    is_literal_->resize(id + 1, false);
+    (*is_literal_)[id] = true;
+  }
+  return id;
+}
+
+uint32_t GraphDatabaseBuilder::InternPredicate(std::string_view name) {
+  return predicates_->Intern(name);
+}
+
+util::Status GraphDatabaseBuilder::AddTriple(std::string_view s,
+                                             std::string_view p,
+                                             std::string_view o) {
+  // Intern in subject-predicate-object order so id assignment does not
+  // depend on the compiler's argument evaluation order.
+  uint32_t s_id = InternNode(s);
+  uint32_t p_id = InternPredicate(p);
+  uint32_t o_id = InternNode(o);
+  return AddTripleIds(s_id, p_id, o_id);
+}
+
+util::Status GraphDatabaseBuilder::AddTripleLiteral(std::string_view s,
+                                                    std::string_view p,
+                                                    std::string_view literal) {
+  uint32_t s_id = InternNode(s);
+  uint32_t p_id = InternPredicate(p);
+  uint32_t o_id = InternLiteral(literal);
+  return AddTripleIds(s_id, p_id, o_id);
+}
+
+util::Status GraphDatabaseBuilder::AddTripleIds(uint32_t s, uint32_t p,
+                                                uint32_t o) {
+  if (s >= is_literal_->size() || o >= is_literal_->size() ||
+      p >= predicates_->size()) {
+    return util::Status::Error("triple references unknown id");
+  }
+  if ((*is_literal_)[s]) {
+    return util::Status::Error("literal '" + nodes_->Name(s) +
+                               "' used in subject position (Def. 1)");
+  }
+  triples_.push_back({s, p, o});
+  return util::Status::Ok();
+}
+
+GraphDatabase GraphDatabaseBuilder::Build() && {
+  GraphDatabase db;
+  db.nodes_ = nodes_;
+  db.predicates_ = predicates_;
+  db.is_literal_ = is_literal_;
+  db.BuildMatrices(std::move(triples_));
+  return db;
+}
+
+void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
+  size_t n = NumNodes();
+  size_t num_predicates = NumPredicates();
+
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> per_predicate(
+      num_predicates);
+  for (const Triple& t : triples) {
+    per_predicate[t.predicate].emplace_back(t.subject, t.object);
+  }
+  triples.clear();
+  triples.shrink_to_fit();
+
+  forward_.reserve(num_predicates);
+  backward_.reserve(num_predicates);
+  forward_summary_.reserve(num_predicates);
+  backward_summary_.reserve(num_predicates);
+  subject_counts_.resize(num_predicates);
+  object_counts_.resize(num_predicates);
+  num_triples_ = 0;
+
+  for (size_t p = 0; p < num_predicates; ++p) {
+    forward_.push_back(
+        util::BitMatrix::Build(n, n, std::move(per_predicate[p])));
+    backward_.push_back(forward_.back().Transposed());
+    forward_summary_.push_back(forward_.back().RowSummary());
+    backward_summary_.push_back(backward_.back().RowSummary());
+    subject_counts_[p] = forward_summary_.back().Count();
+    object_counts_[p] = backward_summary_.back().Count();
+    num_triples_ += forward_.back().Nnz();
+  }
+}
+
+std::vector<Triple> GraphDatabase::AllTriples() const {
+  std::vector<Triple> result;
+  result.reserve(num_triples_);
+  ForEachTriple([&](const Triple& t) { result.push_back(t); });
+  return result;
+}
+
+GraphDatabase GraphDatabase::Restrict(std::span<const Triple> kept) const {
+  GraphDatabase db;
+  db.nodes_ = nodes_;
+  db.predicates_ = predicates_;
+  db.is_literal_ = is_literal_;
+  db.BuildMatrices(std::vector<Triple>(kept.begin(), kept.end()));
+  return db;
+}
+
+size_t GraphDatabase::ApproxMatrixBytes() const {
+  size_t total = 0;
+  for (const util::BitMatrix& m : forward_) total += m.ApproxBytes();
+  for (const util::BitMatrix& m : backward_) total += m.ApproxBytes();
+  return total;
+}
+
+size_t GraphDatabase::GapEncodedMatrixBytes() const {
+  size_t total = 0;
+  size_t n = NumNodes();
+  for (const util::BitMatrix& m : forward_) {
+    for (uint32_t r : m.NonEmptyRows()) {
+      total += util::GapCodec::EncodedSizeFromIndices(m.Row(r), n);
+    }
+  }
+  return total;
+}
+
+}  // namespace sparqlsim::graph

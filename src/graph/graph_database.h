@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/dictionary.h"
+#include "graph/triple.h"
+#include "util/bitmatrix.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace sparqlsim::graph {
+
+class GraphDatabase;
+
+/// Accumulates triples and dictionary entries, then freezes them into an
+/// immutable GraphDatabase.
+///
+/// Enforces Def. 1 of the paper: literals may appear only in object
+/// position; a triple whose subject is a known literal is rejected.
+class GraphDatabaseBuilder {
+ public:
+  GraphDatabaseBuilder();
+
+  /// Interns an IRI-like node (an object in the paper's universe O).
+  uint32_t InternNode(std::string_view name);
+  /// Interns a literal node (universe L); literals never gain out-edges.
+  uint32_t InternLiteral(std::string_view value);
+  uint32_t InternPredicate(std::string_view name);
+
+  /// Adds (s, p, o) where all three are IRI-like names.
+  util::Status AddTriple(std::string_view s, std::string_view p,
+                         std::string_view o);
+  /// Adds (s, p, "literal").
+  util::Status AddTripleLiteral(std::string_view s, std::string_view p,
+                                std::string_view literal);
+  /// Adds a triple over already-interned ids.
+  util::Status AddTripleIds(uint32_t s, uint32_t p, uint32_t o);
+
+  size_t NumTriplesAdded() const { return triples_.size(); }
+
+  /// Freezes into a database. The builder is consumed.
+  GraphDatabase Build() &&;
+
+ private:
+  std::shared_ptr<Dictionary> nodes_;
+  std::shared_ptr<Dictionary> predicates_;
+  std::shared_ptr<std::vector<bool>> is_literal_;
+  std::vector<Triple> triples_;
+};
+
+/// An immutable graph database DB = (O_DB, Sigma, E_DB): dictionary-encoded
+/// nodes/predicates plus, per predicate a, the forward adjacency matrix F_a
+/// and its transpose B_a in compressed sparse form, with the summary
+/// vectors f^a / b^a of Eq. (13) precomputed.
+///
+/// The per-label matrix pair is exactly what Sect. 3.2 of the paper needs:
+/// row-wise products read F_a (or B_a), and the column-wise evaluation
+/// strategy reads the respective transpose's rows.
+class GraphDatabase {
+ public:
+  size_t NumNodes() const { return nodes_->size(); }
+  size_t NumPredicates() const { return predicates_->size(); }
+  size_t NumTriples() const { return num_triples_; }
+
+  const Dictionary& nodes() const { return *nodes_; }
+  const Dictionary& predicates() const { return *predicates_; }
+
+  bool IsLiteral(uint32_t node) const { return (*is_literal_)[node]; }
+
+  /// Forward adjacency matrix F_p (rows: subjects, cols: objects).
+  const util::BitMatrix& Forward(uint32_t p) const { return forward_[p]; }
+  /// Backward adjacency matrix B_p = transpose of F_p.
+  const util::BitMatrix& Backward(uint32_t p) const { return backward_[p]; }
+
+  /// f^p: bit v set iff v has an outgoing p-edge (Eq. 13).
+  const util::BitVector& ForwardSummary(uint32_t p) const {
+    return forward_summary_[p];
+  }
+  /// b^p: bit v set iff v has an incoming p-edge (Eq. 13).
+  const util::BitVector& BackwardSummary(uint32_t p) const {
+    return backward_summary_[p];
+  }
+
+  /// Number of triples with predicate p (basic statistic for join ordering
+  /// and for the solver's sparsity heuristic).
+  size_t PredicateCardinality(uint32_t p) const { return forward_[p].Nnz(); }
+  size_t DistinctSubjects(uint32_t p) const { return subject_counts_[p]; }
+  size_t DistinctObjects(uint32_t p) const { return object_counts_[p]; }
+
+  /// Calls fn(subject, object) for every triple with predicate p.
+  template <typename Fn>
+  void ForEachTriple(uint32_t p, Fn&& fn) const {
+    const util::BitMatrix& m = forward_[p];
+    for (size_t s = 0; s < m.rows(); ++s) {
+      for (uint32_t o : m.Row(s)) fn(static_cast<uint32_t>(s), o);
+    }
+  }
+
+  /// Calls fn(Triple) for every triple, grouped by predicate.
+  template <typename Fn>
+  void ForEachTriple(Fn&& fn) const {
+    for (uint32_t p = 0; p < NumPredicates(); ++p) {
+      ForEachTriple(p, [&](uint32_t s, uint32_t o) { fn(Triple{s, p, o}); });
+    }
+  }
+
+  /// Materializes all triples (grouped by predicate).
+  std::vector<Triple> AllTriples() const;
+
+  /// Builds a database over the *same* dictionaries and node universe that
+  /// contains only the given triples. This is how the pruned database of
+  /// Sect. 5 is constructed: ids remain comparable with the original.
+  GraphDatabase Restrict(std::span<const Triple> kept) const;
+
+  /// Total CSR footprint of all adjacency matrices.
+  size_t ApproxMatrixBytes() const;
+  /// What the footprint would be with gap-length-encoded dense rows
+  /// (storage-economics report, Sect. 3.3 / 5.1).
+  size_t GapEncodedMatrixBytes() const;
+
+ private:
+  friend class GraphDatabaseBuilder;
+
+  GraphDatabase() = default;
+
+  void BuildMatrices(std::vector<Triple>&& triples);
+
+  std::shared_ptr<const Dictionary> nodes_;
+  std::shared_ptr<const Dictionary> predicates_;
+  std::shared_ptr<const std::vector<bool>> is_literal_;
+  size_t num_triples_ = 0;
+  std::vector<util::BitMatrix> forward_;
+  std::vector<util::BitMatrix> backward_;
+  std::vector<util::BitVector> forward_summary_;
+  std::vector<util::BitVector> backward_summary_;
+  std::vector<size_t> subject_counts_;
+  std::vector<size_t> object_counts_;
+};
+
+}  // namespace sparqlsim::graph

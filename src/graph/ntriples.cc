@@ -1,0 +1,124 @@
+#include "graph/ntriples.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+namespace sparqlsim::graph {
+
+namespace {
+
+void SkipSpace(std::string_view line, size_t* pos) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++(*pos);
+  }
+}
+
+/// Parses `<...>` returning the text between the brackets.
+bool ParseIri(std::string_view line, size_t* pos, std::string* out) {
+  if (*pos >= line.size() || line[*pos] != '<') return false;
+  size_t end = line.find('>', *pos + 1);
+  if (end == std::string_view::npos) return false;
+  *out = std::string(line.substr(*pos + 1, end - *pos - 1));
+  *pos = end + 1;
+  return true;
+}
+
+/// Parses `"..."` with \" and \\ escapes, returning the unescaped text.
+bool ParseLiteral(std::string_view line, size_t* pos, std::string* out) {
+  if (*pos >= line.size() || line[*pos] != '"') return false;
+  out->clear();
+  size_t i = *pos + 1;
+  while (i < line.size()) {
+    char c = line[i];
+    if (c == '\\' && i + 1 < line.size()) {
+      out->push_back(line[i + 1]);
+      i += 2;
+      continue;
+    }
+    if (c == '"') {
+      *pos = i + 1;
+      // Skip optional datatype/langtag suffix up to whitespace.
+      while (*pos < line.size() && line[*pos] != ' ' && line[*pos] != '\t') {
+        ++(*pos);
+      }
+      return true;
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return false;
+}
+
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Status NTriples::Load(std::istream& in, GraphDatabaseBuilder* builder) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    size_t pos = 0;
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] == '#') continue;
+
+    auto fail = [&](const std::string& what) {
+      std::ostringstream msg;
+      msg << "n-triples line " << line_number << ": " << what;
+      return util::Status::Error(msg.str());
+    };
+
+    std::string subject, predicate, object;
+    if (!ParseIri(line, &pos, &subject)) return fail("expected <subject>");
+    SkipSpace(line, &pos);
+    if (!ParseIri(line, &pos, &predicate)) return fail("expected <predicate>");
+    SkipSpace(line, &pos);
+
+    util::Status status = util::Status::Ok();
+    if (pos < line.size() && line[pos] == '"') {
+      if (!ParseLiteral(line, &pos, &object)) return fail("bad literal");
+      status = builder->AddTripleLiteral(subject, predicate, object);
+    } else {
+      if (!ParseIri(line, &pos, &object)) return fail("expected object");
+      status = builder->AddTriple(subject, predicate, object);
+    }
+    if (!status.ok()) return fail(status.message());
+
+    SkipSpace(line, &pos);
+    if (pos >= line.size() || line[pos] != '.') return fail("expected '.'");
+  }
+  return util::Status::Ok();
+}
+
+util::Status NTriples::LoadFile(const std::string& path,
+                                GraphDatabaseBuilder* builder) {
+  std::ifstream in(path);
+  if (!in) return util::Status::Error("cannot open " + path);
+  return Load(in, builder);
+}
+
+void NTriples::Write(const GraphDatabase& db, std::ostream& out) {
+  db.ForEachTriple([&](const Triple& t) {
+    out << '<' << db.nodes().Name(t.subject) << "> <"
+        << db.predicates().Name(t.predicate) << "> ";
+    if (db.IsLiteral(t.object)) {
+      out << '"' << Escape(db.nodes().Name(t.object)) << '"';
+    } else {
+      out << '<' << db.nodes().Name(t.object) << '>';
+    }
+    out << " .\n";
+  });
+}
+
+}  // namespace sparqlsim::graph

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph_database.h"
+#include "util/status.h"
+
+namespace sparqlsim::graph {
+
+/// Line-based N-Triples reader/writer.
+///
+/// Supported syntax per line: `<subject> <predicate> <object> .` where the
+/// object may alternatively be a quoted literal `"..."` (with `\"` and `\\`
+/// escapes). `#`-comment lines and blank lines are skipped. This is the
+/// interchange format for the example programs and for dumping pruned
+/// databases.
+class NTriples {
+ public:
+  /// Parses a stream into the builder. Stops at the first malformed line.
+  static util::Status Load(std::istream& in, GraphDatabaseBuilder* builder);
+
+  /// Parses a file into the builder.
+  static util::Status LoadFile(const std::string& path,
+                               GraphDatabaseBuilder* builder);
+
+  /// Serializes all triples of `db`.
+  static void Write(const GraphDatabase& db, std::ostream& out);
+};
+
+}  // namespace sparqlsim::graph

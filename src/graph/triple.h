@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+namespace sparqlsim::graph {
+
+/// A dictionary-encoded RDF triple (subject, predicate, object).
+struct Triple {
+  uint32_t subject;
+  uint32_t predicate;
+  uint32_t object;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+  friend auto operator<=>(const Triple& a, const Triple& b) {
+    return std::tie(a.predicate, a.subject, a.object) <=>
+           std::tie(b.predicate, b.subject, b.object);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.subject;
+    h = h * 0x9E3779B97F4A7C15ULL + t.predicate;
+    h = h * 0x9E3779B97F4A7C15ULL + t.object;
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace sparqlsim::graph

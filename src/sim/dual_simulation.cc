@@ -1,0 +1,19 @@
+#include "sim/dual_simulation.h"
+
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+
+Solution LargestDualSimulation(const graph::Graph& pattern,
+                               const graph::GraphDatabase& db,
+                               const SolverOptions& options) {
+  Soi soi = BuildSoiFromGraph(pattern);
+  return SolveSoi(soi, db, options);
+}
+
+bool DualSimulates(const graph::Graph& pattern, const graph::GraphDatabase& db,
+                   const SolverOptions& options) {
+  return LargestDualSimulation(pattern, db, options).AnyCandidate();
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,39 @@
+#include "sim/equivalence.h"
+
+#include <map>
+
+namespace sparqlsim::sim {
+
+EquivalenceClasses ComputeEquivalenceClasses(const Solution& solution,
+                                             size_t num_nodes) {
+  EquivalenceClasses result;
+  result.class_of.assign(num_nodes, -1);
+
+  // Signatures are sparse: visit candidate sets once and accumulate the
+  // variable list per touched node.
+  std::vector<std::vector<uint32_t>> node_signature(num_nodes);
+  for (uint32_t v = 0; v < solution.candidates.size(); ++v) {
+    solution.candidates[v].ForEachSetBit(
+        [&](uint32_t node) { node_signature[node].push_back(v); });
+  }
+
+  std::map<std::vector<uint32_t>, int64_t> class_ids;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    if (node_signature[node].empty()) {
+      ++result.num_discarded;
+      continue;
+    }
+    auto [it, inserted] = class_ids.try_emplace(
+        node_signature[node], static_cast<int64_t>(result.num_classes));
+    if (inserted) {
+      ++result.num_classes;
+      result.class_sizes.push_back(0);
+      result.signatures.push_back(node_signature[node]);
+    }
+    result.class_of[node] = it->second;
+    ++result.class_sizes[it->second];
+  }
+  return result;
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/solver.h"
+
+namespace sparqlsim::sim {
+
+/// Dual-simulation equivalence classes of database nodes with respect to a
+/// solved pattern — the "database fingerprint" direction sketched in
+/// Sect. 6 of the paper: nodes with identical candidate membership across
+/// all pattern variables are interchangeable for any further processing of
+/// the dual simulation, and (dual) simulation equivalence is coarser than
+/// the bisimulation used by classical structural indexes, so the
+/// fingerprint is smaller.
+struct EquivalenceClasses {
+  /// Per database node: its class id, or -1 for nodes in no candidate set.
+  std::vector<int64_t> class_of;
+  /// Number of classes (excluding the discarded pseudo-class).
+  size_t num_classes = 0;
+  /// Members per class.
+  std::vector<size_t> class_sizes;
+  /// Signature per class: ascending SOI variable ids whose candidate sets
+  /// contain the class members.
+  std::vector<std::vector<uint32_t>> signatures;
+
+  /// Number of nodes not in any candidate set.
+  size_t num_discarded = 0;
+};
+
+/// Groups database nodes by their candidate-membership signature.
+EquivalenceClasses ComputeEquivalenceClasses(const Solution& solution,
+                                             size_t num_nodes);
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "sim/solver.h"
+
+namespace sparqlsim::sim {
+
+/// An HHK-style dual simulation algorithm (Henzinger, Henzinger, Kopke
+/// [17]) adapted to the labeled pattern-vs-data graph query setting, as
+/// analysed in Sect. 3.3 of the paper.
+///
+/// The distinguishing feature of the HHK family is removal bookkeeping
+/// that makes the total work proportional to the data edges touched rather
+/// than to the number of sweeps. We realize it with the standard counter
+/// formulation: for every pattern edge e = (v, a, w) and every data node x,
+///
+///   cnt_fwd[e][x] = |F_a(x)  intersect  sim(w)|
+///   cnt_bwd[e][y] = |B_a(y)  intersect  sim(v)|
+///
+/// A node is disqualified exactly when one of its counters hits zero, and
+/// every disqualification decrements the counters of its data-graph
+/// neighbours — each data edge is charged O(1) times per pattern edge,
+/// giving the O(|E1| * |E2|) bound discussed in the paper (specialized
+/// per-label, the O(|Sigma(G1)| * |V2|^2) form).
+///
+/// Returns the unique largest dual simulation; stats.evaluations counts
+/// queue pops (node disqualifications).
+Solution HhkDualSimulation(
+    const graph::Graph& pattern, const graph::GraphDatabase& db,
+    const std::vector<std::optional<uint32_t>>& constants = {});
+
+}  // namespace sparqlsim::sim

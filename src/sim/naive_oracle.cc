@@ -1,0 +1,69 @@
+#include "sim/naive_oracle.h"
+
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+
+std::set<std::pair<uint32_t, uint32_t>> OracleLargestDualSimulation(
+    const graph::Graph& pattern, const graph::GraphDatabase& db,
+    const std::vector<std::optional<uint32_t>>& constants) {
+  const uint32_t n = static_cast<uint32_t>(db.NumNodes());
+  const uint32_t k = static_cast<uint32_t>(pattern.NumNodes());
+
+  std::set<std::pair<uint32_t, uint32_t>> relation;
+  for (uint32_t v = 0; v < k; ++v) {
+    if (v < constants.size() && constants[v]) {
+      relation.emplace(v, *constants[v]);
+    } else {
+      for (uint32_t x = 0; x < n; ++x) relation.emplace(v, x);
+    }
+  }
+
+  // Checks Def. 2 for the pair (v, x) against the current relation.
+  auto satisfies = [&](uint32_t v, uint32_t x) {
+    for (const graph::LabeledEdge& e : pattern.edges()) {
+      if (e.label == kEmptyPredicate) {
+        if (e.from == v || e.to == v) return false;
+        continue;
+      }
+      if (e.from == v) {
+        // (v, a, w) in E1 requires an a-successor of x related to w.
+        bool found = false;
+        for (uint32_t y : db.Forward(e.label).Row(x)) {
+          if (relation.count({e.to, y})) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      if (e.to == v) {
+        bool found = false;
+        for (uint32_t y : db.Backward(e.label).Row(x)) {
+          if (relation.count({e.from, y})) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+    return true;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = relation.begin(); it != relation.end();) {
+      if (!satisfies(it->first, it->second)) {
+        it = relation.erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return relation;
+}
+
+}  // namespace sparqlsim::sim

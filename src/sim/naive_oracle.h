@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+
+namespace sparqlsim::sim {
+
+/// Brute-force reference implementation of the largest dual simulation,
+/// working directly from Def. 2 over an explicit pair set, with no bit
+/// kernels and no shared code with the production solver. Quadratic-ish in
+/// everything — strictly for cross-checking the SOI solver and baselines
+/// on small inputs in tests.
+std::set<std::pair<uint32_t, uint32_t>> OracleLargestDualSimulation(
+    const graph::Graph& pattern, const graph::GraphDatabase& db,
+    const std::vector<std::optional<uint32_t>>& constants = {});
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "graph/triple.h"
+#include "sim/solver.h"
+#include "sparql/ast.h"
+#include "util/bitvector.h"
+
+namespace sparqlsim::sim {
+
+/// Outcome of dual-simulation processing of a SPARQL query (Sect. 5):
+/// the pruned triple set plus per-variable candidate sets.
+struct PruneReport {
+  /// Triples surviving the prune, sorted and deduplicated.
+  ///
+  /// Soundness (Thm. 2 / Def. 3): no match is lost — every solution of the
+  /// query on the full database is also a solution on
+  /// GraphDatabase::Restrict(kept_triples). For the monotone fragment
+  /// (BGP, AND, UNION) the pruned result set is *equal* to the full one.
+  /// For OPTIONAL queries it may be a superset: OPTIONAL is non-monotone,
+  /// so dropping triples that no full match needs can turn a formerly
+  /// bound optional part unbound and unblock additional rows — the
+  /// "overapproximation of the actual SPARQL query results" the paper
+  /// describes in Sect. 1, intended for further inspection, filtering, or
+  /// exact re-evaluation.
+  std::vector<graph::Triple> kept_triples;
+
+  /// Per original query variable: union of the candidate sets of all its
+  /// SOI occurrence groups across all union-free branches.
+  std::map<std::string, util::BitVector> var_candidates;
+
+  /// Aggregated solver statistics over all union-free branches.
+  SolveStats stats;
+  /// Number of union-free branches processed (Prop. 3).
+  size_t num_branches = 0;
+  /// End-to-end wall time: SOI construction + solving + triple extraction.
+  double total_seconds = 0.0;
+};
+
+/// High-level dual simulation processor for SPARQL queries — the paper's
+/// SPARQLSIM. Splits the query into union-free branches (Prop. 3), builds
+/// and solves the SOI of each branch (Sect. 4), and extracts the union of
+/// the surviving triples (the per-query database pruning of Sect. 5).
+class SparqlSimProcessor {
+ public:
+  explicit SparqlSimProcessor(const graph::GraphDatabase* db) : db_(db) {}
+
+  /// Full pipeline: query -> pruned triple set + candidates.
+  PruneReport Prune(const sparql::Query& query,
+                    const SolverOptions& options = {}) const;
+
+  /// Builds and solves the SOI of a union-free pattern without extracting
+  /// triples (what Table 2 times for BGPs).
+  Solution Solve(const sparql::Pattern& union_free_pattern,
+                 const SolverOptions& options = {}) const;
+
+ private:
+  const graph::GraphDatabase* db_;
+};
+
+}  // namespace sparqlsim::sim

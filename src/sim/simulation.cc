@@ -1,0 +1,36 @@
+#include "sim/simulation.h"
+
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+
+Solution LargestSimulation(const graph::Graph& pattern,
+                           const graph::GraphDatabase& db,
+                           SimulationKind kind,
+                           const SolverOptions& options) {
+  Soi soi = BuildSoiFromGraph(pattern);
+  if (kind != SimulationKind::kDual) {
+    // Keep only the matching half of each edge's inequality pair. Careful
+    // with the correspondence: Def. 2(i) — every candidate of the subject
+    // has an a-successor among the object's candidates — says the subject
+    // set is contained in the backward reach of the object set, i.e. the
+    // `subject <= object x B_p` inequality (forward = false). Dually,
+    // Def. 2(ii) is `object <= subject x F_p` (forward = true).
+    std::vector<Soi::MatrixIneq> kept;
+    for (const Soi::MatrixIneq& m : soi.matrix_ineqs) {
+      if ((kind == SimulationKind::kForward) == !m.forward) {
+        kept.push_back(m);
+      }
+    }
+    soi.matrix_ineqs = std::move(kept);
+  }
+
+  // Eq. (13) initialization must also be one-sided, or it would already
+  // enforce the dropped direction; run with the plain Eq. (12) start and
+  // let the remaining inequalities do the restricting.
+  SolverOptions adjusted = options;
+  if (kind != SimulationKind::kDual) adjusted.summary_init = false;
+  return SolveSoi(soi, db, adjusted);
+}
+
+}  // namespace sparqlsim::sim

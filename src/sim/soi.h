@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "sparql/ast.h"
+
+namespace sparqlsim::sim {
+
+/// Sentinel predicate id for a query predicate that does not occur in the
+/// database: its adjacency matrix is empty, so products through it are
+/// empty and the affected candidate sets drain to the empty set, which is
+/// exactly the semantics the paper's construction requires.
+constexpr uint32_t kEmptyPredicate = 0xFFFFFFFF;
+
+/// A system of inequalities E = (Var, Eq) over candidate bit-vectors
+/// (Sect. 3.2 / Sect. 4 of the paper).
+///
+/// Variables are the SOI variables: one per occurrence group of a query
+/// variable (surrogates such as the paper's v_Q2 included) plus one per
+/// constant term. Inequalities come in two forms:
+///
+///  * MatrixIneq — `lhs <= rhs *b A` with A = F_p (forward = true) or
+///    B_p (forward = false), the per-edge inequalities of Eq. (11);
+///  * SubIneq — `lhs <= rhs`, the subordination inequalities Eq. (14)/(15)
+///    that tie optional occurrence groups to their mandatory anchor.
+///
+/// `edges` records the pattern edges with their SOI endpoints; they drive
+/// both the Eq. (13) initialization and the pruning extraction of Sect. 5.
+struct Soi {
+  struct MatrixIneq {
+    uint32_t lhs;        // SOI var being constrained
+    uint32_t rhs;        // SOI var whose candidates select matrix rows
+    uint32_t predicate;  // database predicate id or kEmptyPredicate
+    bool forward;        // true: A = F_p; false: A = B_p
+  };
+  struct SubIneq {
+    uint32_t lhs;
+    uint32_t rhs;
+  };
+  struct Edge {
+    uint32_t subject_var;
+    uint32_t predicate;  // database predicate id or kEmptyPredicate
+    uint32_t object_var;
+  };
+
+  std::vector<std::string> var_names;
+  /// Per SOI var: the database node id the var is pinned to (constant
+  /// terms; Sect. 4.5), nullopt for proper variables. A constant term not
+  /// present in the database is encoded as a pinned empty set via
+  /// `unsatisfiable_vars`.
+  std::vector<std::optional<uint32_t>> constants;
+  /// Vars whose candidate set is empty from the start (unknown constants).
+  std::vector<bool> unsatisfiable_vars;
+
+  std::vector<MatrixIneq> matrix_ineqs;
+  std::vector<SubIneq> sub_ineqs;
+  std::vector<Edge> edges;
+
+  /// Original query variable -> the SOI vars carrying its candidates
+  /// (the mandatory anchor if one exists, otherwise all optional
+  /// occurrence groups). Surrogate-only helper vars are not listed.
+  std::map<std::string, std::vector<uint32_t>> query_var_groups;
+
+  size_t NumVars() const { return var_names.size(); }
+
+  /// Human-readable rendering in the style of Fig. 3 of the paper.
+  std::string ToString(const graph::GraphDatabase& db) const;
+};
+
+/// Builds the SOI of a pattern graph whose edge labels already are database
+/// predicate ids (the pure dual-simulation setting of Sect. 3: variables
+/// are the pattern's nodes, Eq. (11) per edge).
+Soi BuildSoiFromGraph(const graph::Graph& pattern);
+
+/// Builds the SOI of a *union-free* SPARQL pattern against `db` per
+/// Sect. 4: Lemma 3 unification for AND, Lemma 4/5 renaming plus
+/// subordination for OPTIONAL (including the closest-occurrence chains of
+/// Sect. 4.4), constants pinned per Sect. 4.5. UNION nodes must be removed
+/// first via sparql::UnionNormalForm; passing one is a programming error.
+Soi BuildSoiFromPattern(const sparql::Pattern& pattern,
+                        const graph::GraphDatabase& db);
+
+}  // namespace sparqlsim::sim

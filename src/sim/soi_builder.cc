@@ -1,0 +1,291 @@
+#include <cassert>
+#include <sstream>
+
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+
+namespace {
+
+/// Incremental SOI construction with a union-find over SOI variables.
+///
+/// The paper's renaming discipline (Sect. 4.3/4.4) maps every *occurrence
+/// group* of a query variable to its own SOI variable. We realize renaming
+/// structurally: each BGP mints fresh SOI ids, and combination either
+/// unifies two ids (Lemma 3: a variable mandatory on both sides of AND) or
+/// records a subordination inequality (Lemma 4/5: optional occurrences sit
+/// below their closest mandatory anchor). Nested optionals produce the
+/// closest-occurrence chains of Sect. 4.4 automatically, because inner
+/// combinations subordinate before outer ones.
+class Builder {
+ public:
+  explicit Builder(const graph::GraphDatabase* db) : db_(db) {}
+
+  Soi Run(const sparql::Pattern& pattern) {
+    Env env = BuildRec(pattern);
+    return Finish(env);
+  }
+
+  Soi RunGraph(const graph::Graph& pattern) {
+    for (uint32_t v = 0; v < pattern.NumNodes(); ++v) {
+      NewVar("v" + std::to_string(v), std::nullopt, /*known=*/true);
+    }
+    for (const graph::LabeledEdge& e : pattern.edges()) {
+      AddEdge(e.from, e.label, e.to);
+    }
+    Env env;
+    for (uint32_t v = 0; v < pattern.NumNodes(); ++v) {
+      env["v" + std::to_string(v)] = Entry{v, {}};
+    }
+    return Finish(env);
+  }
+
+ private:
+  /// Visible occurrence groups of one query variable at the current level:
+  /// either a mandatory anchor (all optional groups already subordinated
+  /// and closed) or a list of mutually unordered optional groups.
+  struct Entry {
+    std::optional<uint32_t> mandatory;
+    std::vector<uint32_t> groups;
+  };
+  using Env = std::map<std::string, Entry>;
+
+  uint32_t NewVar(std::string name, std::optional<uint32_t> constant,
+                  bool known) {
+    uint32_t id = static_cast<uint32_t>(soi_.var_names.size());
+    soi_.var_names.push_back(std::move(name));
+    soi_.constants.push_back(constant);
+    soi_.unsatisfiable_vars.push_back(!known);
+    parent_.push_back(id);
+    return id;
+  }
+
+  uint32_t Find(uint32_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Unify(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a != b) parent_[b] = a;
+  }
+
+  void AddEdge(uint32_t s, uint32_t p, uint32_t o) {
+    soi_.edges.push_back({s, p, o});
+    // Eq. (11): object <= subject *b F_p ; subject <= object *b B_p.
+    soi_.matrix_ineqs.push_back({o, s, p, /*forward=*/true});
+    soi_.matrix_ineqs.push_back({s, o, p, /*forward=*/false});
+  }
+
+  uint32_t ResolvePredicate(const sparql::Term& term) {
+    assert(term.kind() == sparql::Term::Kind::kIri);
+    auto id = db_->predicates().Lookup(term.text());
+    return id ? *id : kEmptyPredicate;
+  }
+
+  Env BuildBgp(const sparql::Pattern& bgp) {
+    Env env;
+    std::map<std::string, uint32_t> local;  // term key -> SOI id
+    auto intern = [&](const sparql::Term& term) {
+      std::string key = term.ToString();
+      auto it = local.find(key);
+      if (it != local.end()) return it->second;
+      uint32_t id;
+      if (term.IsVariable()) {
+        id = NewVar(term.text(), std::nullopt, /*known=*/true);
+        env[term.text()] = Entry{id, {}};
+      } else {
+        auto node = db_->nodes().Lookup(term.text());
+        id = NewVar(key, node, /*known=*/node.has_value());
+      }
+      local.emplace(std::move(key), id);
+      return id;
+    };
+
+    for (const sparql::TriplePattern& t : bgp.triples()) {
+      uint32_t s = intern(t.subject);
+      uint32_t o = intern(t.object);
+      AddEdge(s, ResolvePredicate(t.predicate), o);
+    }
+    return env;
+  }
+
+  void Subordinate(uint32_t lower, uint32_t upper) {
+    soi_.sub_ineqs.push_back({lower, upper});
+  }
+
+  Env BuildRec(const sparql::Pattern& p) {
+    switch (p.kind()) {
+      case sparql::PatternKind::kBgp:
+        return BuildBgp(p);
+      case sparql::PatternKind::kJoin: {
+        Env left = BuildRec(p.left());
+        Env right = BuildRec(p.right());
+        // Lemma 3 / Lemma 5: mandatory-mandatory occurrences unify; an
+        // optional group meeting a mandatory anchor is subordinated.
+        for (auto& [var, rhs] : right) {
+          auto it = left.find(var);
+          if (it == left.end()) {
+            left.emplace(var, std::move(rhs));
+            continue;
+          }
+          Entry& lhs = it->second;
+          if (lhs.mandatory && rhs.mandatory) {
+            Unify(*lhs.mandatory, *rhs.mandatory);
+          } else if (lhs.mandatory) {
+            for (uint32_t g : rhs.groups) Subordinate(g, *lhs.mandatory);
+          } else if (rhs.mandatory) {
+            for (uint32_t g : lhs.groups) Subordinate(g, *rhs.mandatory);
+            lhs = rhs;
+          } else {
+            for (uint32_t g : rhs.groups) lhs.groups.push_back(g);
+          }
+        }
+        return left;
+      }
+      case sparql::PatternKind::kOptional: {
+        Env left = BuildRec(p.left());
+        Env right = BuildRec(p.right());
+        // Lemma 4 / Sect. 4.4: occurrences inside the optional side are
+        // subordinated to a mandatory anchor on the left if one exists;
+        // otherwise they remain independent groups (the cross-product
+        // behaviour of non-well-designed patterns).
+        for (auto& [var, rhs] : right) {
+          auto it = left.find(var);
+          if (it == left.end()) {
+            Entry demoted;
+            if (rhs.mandatory) demoted.groups.push_back(*rhs.mandatory);
+            for (uint32_t g : rhs.groups) demoted.groups.push_back(g);
+            left.emplace(var, std::move(demoted));
+            continue;
+          }
+          Entry& lhs = it->second;
+          if (lhs.mandatory) {
+            if (rhs.mandatory) Subordinate(*rhs.mandatory, *lhs.mandatory);
+            for (uint32_t g : rhs.groups) Subordinate(g, *lhs.mandatory);
+          } else {
+            if (rhs.mandatory) lhs.groups.push_back(*rhs.mandatory);
+            for (uint32_t g : rhs.groups) lhs.groups.push_back(g);
+          }
+        }
+        return left;
+      }
+      case sparql::PatternKind::kUnion:
+        assert(false &&
+               "UNION must be removed via UnionNormalForm before SOI "
+               "construction");
+        return {};
+    }
+    return {};
+  }
+
+  /// Applies the union-find to all recorded ids, compacts variables, drops
+  /// degenerate subordinations, and disambiguates display names.
+  Soi Finish(const Env& env) {
+    size_t raw = soi_.var_names.size();
+    std::vector<uint32_t> remap(raw, 0);
+    std::vector<bool> is_root(raw, false);
+    for (uint32_t v = 0; v < raw; ++v) is_root[Find(v)] = true;
+
+    // The mandatory anchor of each query variable keeps the plain name
+    // (the paper renames only the optional occurrence groups to v_Q2 ...).
+    std::map<std::string, uint32_t> plain_name_owner;
+    for (const auto& [var, entry] : env) {
+      if (entry.mandatory) plain_name_owner[var] = Find(*entry.mandatory);
+    }
+
+    Soi out;
+    std::map<std::string, int> name_uses;
+    for (uint32_t v = 0; v < raw; ++v) {
+      if (!is_root[v]) continue;
+      remap[v] = static_cast<uint32_t>(out.var_names.size());
+      std::string name = soi_.var_names[v];
+      auto owner = plain_name_owner.find(name);
+      if (owner != plain_name_owner.end() && owner->second != v) {
+        // Surrogate occurrence group: the paper's renamed form.
+        name += "@" + std::to_string(++name_uses[name] + 1);
+      } else if (owner == plain_name_owner.end()) {
+        int uses = ++name_uses[name];
+        if (uses > 1) name += "@" + std::to_string(uses);
+      }
+      out.var_names.push_back(std::move(name));
+      out.constants.push_back(soi_.constants[v]);
+      out.unsatisfiable_vars.push_back(soi_.unsatisfiable_vars[v]);
+    }
+    // Merge constant/unsatisfiable info of non-roots into roots.
+    for (uint32_t v = 0; v < raw; ++v) {
+      uint32_t root = remap[Find(v)];
+      if (soi_.constants[v]) {
+        if (out.constants[root] && *out.constants[root] != *soi_.constants[v]) {
+          out.unsatisfiable_vars[root] = true;  // conflicting constants
+        } else {
+          out.constants[root] = soi_.constants[v];
+        }
+      }
+      if (soi_.unsatisfiable_vars[v]) out.unsatisfiable_vars[root] = true;
+    }
+
+    auto map_id = [&](uint32_t v) { return remap[Find(v)]; };
+    for (const Soi::MatrixIneq& m : soi_.matrix_ineqs) {
+      out.matrix_ineqs.push_back(
+          {map_id(m.lhs), map_id(m.rhs), m.predicate, m.forward});
+    }
+    for (const Soi::SubIneq& s : soi_.sub_ineqs) {
+      uint32_t l = map_id(s.lhs);
+      uint32_t r = map_id(s.rhs);
+      if (l != r) out.sub_ineqs.push_back({l, r});
+    }
+    for (const Soi::Edge& e : soi_.edges) {
+      out.edges.push_back(
+          {map_id(e.subject_var), e.predicate, map_id(e.object_var)});
+    }
+    for (const auto& [var, entry] : env) {
+      std::vector<uint32_t>& ids = out.query_var_groups[var];
+      if (entry.mandatory) {
+        ids.push_back(map_id(*entry.mandatory));
+      } else {
+        for (uint32_t g : entry.groups) ids.push_back(map_id(g));
+      }
+    }
+    return out;
+  }
+
+  const graph::GraphDatabase* db_;
+  Soi soi_;
+  std::vector<uint32_t> parent_;
+};
+
+}  // namespace
+
+Soi BuildSoiFromGraph(const graph::Graph& pattern) {
+  Builder builder(nullptr);
+  return builder.RunGraph(pattern);
+}
+
+Soi BuildSoiFromPattern(const sparql::Pattern& pattern,
+                        const graph::GraphDatabase& db) {
+  assert(pattern.IsUnionFree());
+  Builder builder(&db);
+  return builder.Run(pattern);
+}
+
+std::string Soi::ToString(const graph::GraphDatabase& db) const {
+  std::ostringstream out;
+  for (const MatrixIneq& m : matrix_ineqs) {
+    out << var_names[m.lhs] << " <= " << var_names[m.rhs] << " x "
+        << (m.forward ? "F_" : "B_")
+        << (m.predicate == kEmptyPredicate ? "(absent)"
+                                           : db.predicates().Name(m.predicate))
+        << "\n";
+  }
+  for (const SubIneq& s : sub_ineqs) {
+    out << var_names[s.lhs] << " <= " << var_names[s.rhs] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,206 @@
+#include "sim/solver.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/stopwatch.h"
+
+namespace sparqlsim::sim {
+
+namespace {
+
+/// Unified inequality handle: indices [0, M) are matrix inequalities,
+/// [M, M + S) are subordinations.
+struct Work {
+  std::vector<uint32_t> current;
+  std::vector<uint32_t> next;
+  std::vector<bool> queued;  // membership in `next`
+};
+
+}  // namespace
+
+void SolveStats::Accumulate(const SolveStats& other) {
+  rounds += other.rounds;
+  evaluations += other.evaluations;
+  updates += other.updates;
+  row_evals += other.row_evals;
+  col_evals += other.col_evals;
+  solve_seconds += other.solve_seconds;
+}
+
+bool Solution::AnyCandidate() const {
+  for (const util::BitVector& c : candidates) {
+    if (c.Any()) return true;
+  }
+  return false;
+}
+
+size_t Solution::RelationSize() const {
+  size_t total = 0;
+  for (const util::BitVector& c : candidates) total += c.Count();
+  return total;
+}
+
+Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const SolverOptions& options,
+                  const std::vector<util::BitVector>* initial) {
+  util::Stopwatch timer;
+  const size_t n = db.NumNodes();
+  const size_t num_vars = soi.NumVars();
+  const size_t num_matrix = soi.matrix_ineqs.size();
+  const size_t num_ineqs = num_matrix + soi.sub_ineqs.size();
+
+  Solution solution;
+  solution.candidates.assign(num_vars, util::BitVector(n));
+  std::vector<util::BitVector>& chi = solution.candidates;
+  std::vector<size_t> counts(num_vars, 0);
+
+  // --- Initialization: Eq. (12) or Eq. (13), constants per Sect. 4.5. ---
+  for (size_t v = 0; v < num_vars; ++v) {
+    if (soi.unsatisfiable_vars[v]) continue;  // stays empty
+    if (initial != nullptr) {
+      chi[v] = (*initial)[v];
+      if (soi.constants[v]) {
+        util::BitVector pin(n);
+        pin.Set(*soi.constants[v]);
+        chi[v].AndWith(pin);
+      }
+      continue;
+    }
+    if (soi.constants[v]) {
+      chi[v].Set(*soi.constants[v]);
+    } else {
+      chi[v].SetAll();
+    }
+  }
+  if (options.summary_init) {
+    for (const Soi::Edge& e : soi.edges) {
+      if (e.predicate == kEmptyPredicate) {
+        chi[e.subject_var].ClearAll();
+        chi[e.object_var].ClearAll();
+        continue;
+      }
+      chi[e.subject_var].AndWith(db.ForwardSummary(e.predicate));
+      chi[e.object_var].AndWith(db.BackwardSummary(e.predicate));
+    }
+  }
+  for (size_t v = 0; v < num_vars; ++v) counts[v] = chi[v].Count();
+
+  // --- Dependency index: ineqs whose right-hand side reads var v. ---
+  std::vector<std::vector<uint32_t>> dependents(num_vars);
+  for (size_t i = 0; i < num_matrix; ++i) {
+    dependents[soi.matrix_ineqs[i].rhs].push_back(static_cast<uint32_t>(i));
+  }
+  for (size_t i = 0; i < soi.sub_ineqs.size(); ++i) {
+    dependents[soi.sub_ineqs[i].rhs].push_back(
+        static_cast<uint32_t>(num_matrix + i));
+  }
+
+  // --- Initial worklist order (sparsity heuristic, Sect. 3.3). ---
+  std::vector<uint32_t> order(num_ineqs);
+  std::iota(order.begin(), order.end(), 0);
+  if (options.order_by_sparsity) {
+    auto key = [&](uint32_t idx) -> size_t {
+      if (idx >= num_matrix) return SIZE_MAX;  // subordinations last
+      const Soi::MatrixIneq& m = soi.matrix_ineqs[idx];
+      if (m.predicate == kEmptyPredicate) return 0;
+      // More empty columns in A == fewer distinct targets: ascending
+      // distinct objects (forward) / subjects (backward).
+      return m.forward ? db.DistinctObjects(m.predicate)
+                       : db.DistinctSubjects(m.predicate);
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
+  }
+
+  Work work;
+  work.current = order;
+  work.queued.assign(num_ineqs, false);
+
+  util::BitVector scratch(n);
+
+  auto on_change = [&](uint32_t var) {
+    counts[var] = chi[var].Count();
+    for (uint32_t dep : dependents[var]) {
+      if (!work.queued[dep]) {
+        work.queued[dep] = true;
+        work.next.push_back(dep);
+      }
+    }
+  };
+
+  SolveStats& stats = solution.stats;
+  while (!work.current.empty()) {
+    if (options.max_rounds != 0 && stats.rounds >= options.max_rounds) break;
+    ++stats.rounds;
+    for (uint32_t idx : work.current) {
+      ++stats.evaluations;
+      if (idx >= num_matrix) {
+        const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
+        if (chi[s.lhs].AndWith(chi[s.rhs])) {
+          ++stats.updates;
+          on_change(s.lhs);
+        }
+        continue;
+      }
+
+      const Soi::MatrixIneq& m = soi.matrix_ineqs[idx];
+      if (counts[m.lhs] == 0) continue;  // cannot shrink further
+      if (m.predicate == kEmptyPredicate || counts[m.rhs] == 0) {
+        chi[m.lhs].ClearAll();
+        ++stats.updates;
+        on_change(m.lhs);
+        continue;
+      }
+
+      const util::BitMatrix& a =
+          m.forward ? db.Forward(m.predicate) : db.Backward(m.predicate);
+      const util::BitMatrix& a_t =
+          m.forward ? db.Backward(m.predicate) : db.Forward(m.predicate);
+
+      bool row_wise = true;
+      switch (options.eval_mode) {
+        case SolverOptions::EvalMode::kRowWise:
+          row_wise = true;
+          break;
+        case SolverOptions::EvalMode::kColumnWise:
+          row_wise = false;
+          break;
+        case SolverOptions::EvalMode::kDynamic:
+          // Paper's rule: row-wise iff chi(rhs) has fewer bits than
+          // chi(lhs).
+          row_wise = counts[m.rhs] < counts[m.lhs];
+          break;
+      }
+
+      bool changed = false;
+      if (row_wise) {
+        ++stats.row_evals;
+        a.Multiply(chi[m.rhs], &scratch);
+        changed = chi[m.lhs].AndWith(scratch);
+      } else {
+        ++stats.col_evals;
+        // Keep candidate j of lhs iff column j of A intersects chi(rhs);
+        // column j of A is row j of A^T.
+        chi[m.lhs].ForEachSetBit([&](uint32_t j) {
+          if (!a_t.RowIntersects(j, chi[m.rhs])) {
+            chi[m.lhs].Reset(j);
+            changed = true;
+          }
+        });
+      }
+      if (changed) {
+        ++stats.updates;
+        on_change(m.lhs);
+      }
+    }
+    work.current.clear();
+    std::swap(work.current, work.next);
+    std::fill(work.queued.begin(), work.queued.end(), false);
+  }
+
+  stats.solve_seconds = timer.ElapsedSeconds();
+  return solution;
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "sim/soi.h"
+#include "util/bitvector.h"
+
+namespace sparqlsim::sim {
+
+/// Strategy knobs for the SOI fixpoint (Sect. 3.3 of the paper). The
+/// defaults are the paper's SPARQLSIM configuration; the ablation bench
+/// toggles them individually.
+struct SolverOptions {
+  /// Initialize candidate sets from the per-label summary vectors f^a/b^a
+  /// (Eq. 13) instead of the all-ones vectors of Eq. (12).
+  bool summary_init = true;
+
+  /// How to evaluate `x <= y *b A`.
+  enum class EvalMode {
+    kRowWise,     // always materialize the product (Eq. 9)
+    kColumnWise,  // always per-candidate intersection tests via A^T
+    kDynamic,     // paper's rule: row-wise iff |chi(y)| < |chi(x)|
+  };
+  EvalMode eval_mode = EvalMode::kDynamic;
+
+  /// Order the initial worklist so that inequalities whose matrix has the
+  /// most empty columns (highest pruning potential) come first.
+  bool order_by_sparsity = true;
+
+  /// Safety valve for experiments; 0 means no limit.
+  size_t max_rounds = 0;
+};
+
+/// Counters describing one fixpoint run.
+struct SolveStats {
+  /// Fixpoint rounds: one round processes every inequality that was
+  /// unstable when the round began. This is the paper's "iterations"
+  /// metric (L0 needs 30+, L1 only 2; Sect. 5.3).
+  size_t rounds = 0;
+  size_t evaluations = 0;  // inequality evaluations
+  size_t updates = 0;      // evaluations that shrank a candidate set
+  size_t row_evals = 0;
+  size_t col_evals = 0;
+  double solve_seconds = 0.0;
+
+  void Accumulate(const SolveStats& other);
+};
+
+/// The largest solution of an SOI: one candidate bit-vector per SOI
+/// variable. The induced relation {(v, o) | o in candidates[v]} is the
+/// largest dual simulation (Prop. 2 of the paper).
+struct Solution {
+  std::vector<util::BitVector> candidates;
+  SolveStats stats;
+
+  /// True iff the induced relation is non-empty.
+  bool AnyCandidate() const;
+  /// Sum of candidate-set sizes (size of the induced relation).
+  size_t RelationSize() const;
+};
+
+/// Computes the largest solution of `soi` against `db` by the worklist
+/// fixpoint of Sect. 3.2/3.3: start from Eq. (12)/(13), repeatedly pick an
+/// unstable inequality, AND the left-hand side with the right-hand-side
+/// product, and re-activate every inequality whose right-hand side reads a
+/// changed variable.
+///
+/// When `initial` is non-null it replaces the all-ones start of Eq. (12):
+/// the fixpoint then computes the largest solution *below* the given
+/// assignment. This is how restricted instances — e.g. the distance-bounded
+/// balls of strong simulation — reuse the solver.
+Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const SolverOptions& options = {},
+                  const std::vector<util::BitVector>* initial = nullptr);
+
+}  // namespace sparqlsim::sim

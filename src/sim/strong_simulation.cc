@@ -1,0 +1,133 @@
+#include "sim/strong_simulation.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "sim/soi.h"
+#include "util/stopwatch.h"
+
+namespace sparqlsim::sim {
+
+size_t PatternDiameter(const graph::Graph& pattern) {
+  const size_t k = pattern.NumNodes();
+  std::vector<std::vector<uint32_t>> adjacency(k);
+  for (const graph::LabeledEdge& e : pattern.edges()) {
+    adjacency[e.from].push_back(e.to);
+    adjacency[e.to].push_back(e.from);
+  }
+  size_t diameter = 0;
+  std::vector<int> dist(k);
+  for (uint32_t start = 0; start < k; ++start) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<uint32_t> queue = {start};
+    dist[start] = 0;
+    while (!queue.empty()) {
+      uint32_t v = queue.front();
+      queue.pop_front();
+      diameter = std::max(diameter, static_cast<size_t>(dist[v]));
+      for (uint32_t w : adjacency[v]) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return diameter;
+}
+
+namespace {
+
+/// Grows the undirected ball of radius `radius` around `center`, visiting
+/// only nodes with their bit set in `universe`.
+util::BitVector GrowBall(uint32_t center, size_t radius,
+                         const util::BitVector& universe,
+                         const graph::GraphDatabase& db) {
+  util::BitVector ball(db.NumNodes());
+  ball.Set(center);
+  std::deque<std::pair<uint32_t, size_t>> queue = {{center, 0}};
+  while (!queue.empty()) {
+    auto [node, depth] = queue.front();
+    queue.pop_front();
+    if (depth == radius) continue;
+    for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
+      for (uint32_t next : db.Forward(p).Row(node)) {
+        if (universe.Test(next) && !ball.Test(next)) {
+          ball.Set(next);
+          queue.emplace_back(next, depth + 1);
+        }
+      }
+      for (uint32_t next : db.Backward(p).Row(node)) {
+        if (universe.Test(next) && !ball.Test(next)) {
+          ball.Set(next);
+          queue.emplace_back(next, depth + 1);
+        }
+      }
+    }
+  }
+  return ball;
+}
+
+}  // namespace
+
+StrongSimResult StrongSimulation(const graph::Graph& pattern,
+                                 const graph::GraphDatabase& db,
+                                 const StrongSimOptions& options) {
+  util::Stopwatch watch;
+  StrongSimResult result;
+  result.radius = PatternDiameter(pattern);
+
+  Soi soi = BuildSoiFromGraph(pattern);
+  Solution global = SolveSoi(soi, db, options.solver);
+  if (!global.AnyCandidate()) {
+    result.seconds = watch.ElapsedSeconds();
+    return result;
+  }
+
+  // Centers and ball universe: nodes surviving the global prefilter.
+  util::BitVector universe(db.NumNodes());
+  for (const util::BitVector& c : global.candidates) universe.OrWith(c);
+
+  std::set<std::vector<std::vector<uint32_t>>> seen;
+  std::vector<uint32_t> centers = universe.ToIndexVector();
+  std::vector<util::BitVector> restricted(pattern.NumNodes());
+  for (uint32_t center : centers) {
+    if (options.max_matches != 0 &&
+        result.matches.size() >= options.max_matches) {
+      break;
+    }
+    ++result.balls_checked;
+    util::BitVector ball = GrowBall(center, result.radius, universe, db);
+    for (size_t v = 0; v < pattern.NumNodes(); ++v) {
+      restricted[v] = global.candidates[v];
+      restricted[v].AndWith(ball);
+    }
+    Solution local = SolveSoi(soi, db, options.solver, &restricted);
+
+    // The center must participate in the relation.
+    bool center_in = false;
+    for (const util::BitVector& c : local.candidates) {
+      if (c.Test(center)) {
+        center_in = true;
+        break;
+      }
+    }
+    if (!center_in) continue;
+
+    // Deduplicate identical relations from nearby centers.
+    std::vector<std::vector<uint32_t>> signature;
+    signature.reserve(local.candidates.size());
+    for (const util::BitVector& c : local.candidates) {
+      signature.push_back(c.ToIndexVector());
+    }
+    if (!seen.insert(signature).second) continue;
+
+    result.matches.push_back({center, local.candidates});
+  }
+
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,117 @@
+#include "sim/validate.h"
+
+#include <sstream>
+
+namespace sparqlsim::sim {
+
+namespace {
+
+void Explain(std::string* why, const std::string& message) {
+  if (why != nullptr) *why = message;
+}
+
+}  // namespace
+
+bool SatisfiesSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const std::vector<util::BitVector>& candidates,
+                  std::string* why) {
+  if (candidates.size() != soi.NumVars()) {
+    Explain(why, "candidate vector count does not match SOI variables");
+    return false;
+  }
+  const size_t n = db.NumNodes();
+  util::BitVector product(n);
+
+  for (const Soi::MatrixIneq& m : soi.matrix_ineqs) {
+    if (m.predicate == kEmptyPredicate) {
+      if (candidates[m.lhs].Any()) {
+        Explain(why, "non-empty candidates through an absent predicate for " +
+                         soi.var_names[m.lhs]);
+        return false;
+      }
+      continue;
+    }
+    const util::BitMatrix& a =
+        m.forward ? db.Forward(m.predicate) : db.Backward(m.predicate);
+    a.Multiply(candidates[m.rhs], &product);
+    if (!candidates[m.lhs].IsSubsetOf(product)) {
+      std::ostringstream msg;
+      msg << soi.var_names[m.lhs] << " <= " << soi.var_names[m.rhs] << " x "
+          << (m.forward ? "F_" : "B_") << db.predicates().Name(m.predicate)
+          << " violated";
+      Explain(why, msg.str());
+      return false;
+    }
+  }
+  for (const Soi::SubIneq& s : soi.sub_ineqs) {
+    if (!candidates[s.lhs].IsSubsetOf(candidates[s.rhs])) {
+      Explain(why, soi.var_names[s.lhs] + " <= " + soi.var_names[s.rhs] +
+                       " violated");
+      return false;
+    }
+  }
+  for (size_t v = 0; v < soi.NumVars(); ++v) {
+    if (soi.constants[v] && candidates[v].Any()) {
+      if (candidates[v].Count() != 1 ||
+          !candidates[v].Test(*soi.constants[v])) {
+        Explain(why, "constant variable " + soi.var_names[v] +
+                         " bound to a non-constant set");
+        return false;
+      }
+    }
+    if (soi.unsatisfiable_vars[v] && candidates[v].Any()) {
+      Explain(why, "unsatisfiable variable " + soi.var_names[v] +
+                       " has candidates");
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsDualSimulation(const graph::Graph& pattern,
+                      const graph::GraphDatabase& db,
+                      const std::vector<util::BitVector>& candidates,
+                      std::string* why) {
+  if (candidates.size() != pattern.NumNodes()) {
+    Explain(why, "candidate vector count does not match pattern nodes");
+    return false;
+  }
+  for (const graph::LabeledEdge& e : pattern.edges()) {
+    if (e.label == kEmptyPredicate) {
+      if (candidates[e.from].Any() || candidates[e.to].Any()) {
+        Explain(why, "candidates across an absent label");
+        return false;
+      }
+      continue;
+    }
+    const util::BitMatrix& fwd = db.Forward(e.label);
+    const util::BitMatrix& bwd = db.Backward(e.label);
+    bool ok = true;
+    // Def. 2(i): every candidate of e.from has an e.label successor among
+    // the candidates of e.to.
+    candidates[e.from].ForEachSetBit([&](uint32_t x) {
+      if (!fwd.RowIntersects(x, candidates[e.to])) ok = false;
+    });
+    if (!ok) {
+      std::ostringstream msg;
+      msg << "Def. 2(i) violated on pattern edge (" << e.from << ","
+          << db.predicates().Name(e.label) << "," << e.to << ")";
+      Explain(why, msg.str());
+      return false;
+    }
+    // Def. 2(ii).
+    candidates[e.to].ForEachSetBit([&](uint32_t y) {
+      if (!bwd.RowIntersects(y, candidates[e.from])) ok = false;
+    });
+    if (!ok) {
+      std::ostringstream msg;
+      msg << "Def. 2(ii) violated on pattern edge (" << e.from << ","
+          << db.predicates().Name(e.label) << "," << e.to << ")";
+      Explain(why, msg.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sparqlsim::sim

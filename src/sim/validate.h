@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "sim/soi.h"
+#include "sim/solver.h"
+
+namespace sparqlsim::sim {
+
+/// Checks that `candidates` is a valid assignment of the SOI, i.e. every
+/// matrix and subordination inequality holds (Prop. 2: valid assignments
+/// are exactly the dual simulations). Returns an explanatory message via
+/// `why` on failure. Used by tests as an oracle independent of the solver.
+bool SatisfiesSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const std::vector<util::BitVector>& candidates,
+                  std::string* why = nullptr);
+
+/// Checks Def. 2 directly: the relation induced by `candidates` over the
+/// pattern graph is a dual simulation between `pattern` and `db`.
+bool IsDualSimulation(const graph::Graph& pattern,
+                      const graph::GraphDatabase& db,
+                      const std::vector<util::BitVector>& candidates,
+                      std::string* why = nullptr);
+
+}  // namespace sparqlsim::sim

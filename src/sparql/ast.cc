@@ -1,0 +1,198 @@
+#include "sparql/ast.h"
+
+#include <cassert>
+#include <map>
+
+namespace sparqlsim::sparql {
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return "?" + text_;
+    case Kind::kIri:
+      return "<" + text_ + ">";
+    case Kind::kLiteral:
+      return "\"" + text_ + "\"";
+  }
+  return {};
+}
+
+std::string TriplePattern::ToString() const {
+  return subject.ToString() + " " + predicate.ToString() + " " +
+         object.ToString() + " .";
+}
+
+std::unique_ptr<Pattern> Pattern::Bgp(std::vector<TriplePattern> triples) {
+  auto p = std::unique_ptr<Pattern>(new Pattern(PatternKind::kBgp));
+  p->triples_ = std::move(triples);
+  return p;
+}
+
+std::unique_ptr<Pattern> Pattern::Join(std::unique_ptr<Pattern> left,
+                                       std::unique_ptr<Pattern> right) {
+  auto p = std::unique_ptr<Pattern>(new Pattern(PatternKind::kJoin));
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+std::unique_ptr<Pattern> Pattern::Optional(std::unique_ptr<Pattern> left,
+                                           std::unique_ptr<Pattern> right) {
+  auto p = std::unique_ptr<Pattern>(new Pattern(PatternKind::kOptional));
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+std::unique_ptr<Pattern> Pattern::Union(std::unique_ptr<Pattern> left,
+                                        std::unique_ptr<Pattern> right) {
+  auto p = std::unique_ptr<Pattern>(new Pattern(PatternKind::kUnion));
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+void Pattern::CollectVars(std::set<std::string>* out) const {
+  if (kind_ == PatternKind::kBgp) {
+    for (const TriplePattern& t : triples_) {
+      if (t.subject.IsVariable()) out->insert(t.subject.text());
+      if (t.object.IsVariable()) out->insert(t.object.text());
+    }
+    return;
+  }
+  left_->CollectVars(out);
+  right_->CollectVars(out);
+}
+
+std::set<std::string> Pattern::Vars() const {
+  std::set<std::string> vars;
+  CollectVars(&vars);
+  return vars;
+}
+
+std::set<std::string> Pattern::MandatoryVars() const {
+  switch (kind_) {
+    case PatternKind::kBgp:
+      return Vars();
+    case PatternKind::kJoin: {
+      std::set<std::string> vars = left_->MandatoryVars();
+      std::set<std::string> right = right_->MandatoryVars();
+      vars.insert(right.begin(), right.end());
+      return vars;
+    }
+    case PatternKind::kOptional:
+      return left_->MandatoryVars();
+    case PatternKind::kUnion: {
+      std::set<std::string> left = left_->MandatoryVars();
+      std::set<std::string> right = right_->MandatoryVars();
+      std::set<std::string> both;
+      for (const std::string& v : left) {
+        if (right.count(v)) both.insert(v);
+      }
+      return both;
+    }
+  }
+  return {};
+}
+
+bool Pattern::IsUnionFree() const {
+  if (kind_ == PatternKind::kUnion) return false;
+  if (kind_ == PatternKind::kBgp) return true;
+  return left_->IsUnionFree() && right_->IsUnionFree();
+}
+
+size_t Pattern::NumTriples() const {
+  if (kind_ == PatternKind::kBgp) return triples_.size();
+  return left_->NumTriples() + right_->NumTriples();
+}
+
+std::unique_ptr<Pattern> Pattern::Clone() const {
+  if (kind_ == PatternKind::kBgp) return Bgp(triples_);
+  auto p = std::unique_ptr<Pattern>(new Pattern(kind_));
+  p->left_ = left_->Clone();
+  p->right_ = right_->Clone();
+  return p;
+}
+
+namespace {
+
+/// Walks the tree; for each OPTIONAL node checks the well-designedness
+/// condition against the set of variables occurring outside that node.
+bool CheckWellDesigned(const Pattern& node, const Pattern& root) {
+  if (node.kind() == PatternKind::kBgp) return true;
+  if (node.kind() == PatternKind::kOptional) {
+    // Count occurrences: a variable of the optional right-hand side that
+    // appears anywhere in the tree outside this OPTIONAL node must appear
+    // in the left-hand side.
+    std::set<std::string> inside = node.right().Vars();
+    std::set<std::string> left = node.left().Vars();
+
+    // Collect variables occurring outside `node`.
+    std::set<std::string> outside;
+    std::vector<const Pattern*> stack = {&root};
+    while (!stack.empty()) {
+      const Pattern* p = stack.back();
+      stack.pop_back();
+      if (p == &node) continue;  // skip this subtree entirely
+      if (p->kind() == PatternKind::kBgp) {
+        for (const TriplePattern& t : p->triples()) {
+          if (t.subject.IsVariable()) outside.insert(t.subject.text());
+          if (t.object.IsVariable()) outside.insert(t.object.text());
+        }
+      } else {
+        stack.push_back(&p->left());
+        stack.push_back(&p->right());
+      }
+    }
+    for (const std::string& v : inside) {
+      if (outside.count(v) && !left.count(v)) return false;
+    }
+  }
+  return CheckWellDesigned(node.left(), root) &&
+         CheckWellDesigned(node.right(), root);
+}
+
+}  // namespace
+
+bool IsWellDesigned(const Pattern& root) {
+  if (root.kind() == PatternKind::kBgp) return true;
+  return CheckWellDesigned(root, root);
+}
+
+graph::Graph BgpToGraph(const std::vector<TriplePattern>& bgp,
+                        std::vector<Term>* node_terms,
+                        std::vector<std::string>* label_names) {
+  node_terms->clear();
+  label_names->clear();
+  graph::Graph g;
+  std::map<std::pair<int, std::string>, uint32_t> node_ids;
+  std::map<std::string, uint32_t> label_ids;
+
+  auto intern_node = [&](const Term& term) {
+    auto key = std::make_pair(static_cast<int>(term.kind()), term.text());
+    auto it = node_ids.find(key);
+    if (it != node_ids.end()) return it->second;
+    uint32_t id = g.AddNode();
+    node_ids.emplace(key, id);
+    node_terms->push_back(term);
+    return id;
+  };
+  auto intern_label = [&](const std::string& name) {
+    auto it = label_ids.find(name);
+    if (it != label_ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(label_names->size());
+    label_ids.emplace(name, id);
+    label_names->push_back(name);
+    return id;
+  };
+
+  for (const TriplePattern& t : bgp) {
+    assert(t.predicate.kind() == Term::Kind::kIri);
+    uint32_t s = intern_node(t.subject);
+    uint32_t o = intern_node(t.object);
+    g.AddEdge(s, intern_label(t.predicate.text()), o);
+  }
+  return g;
+}
+
+}  // namespace sparqlsim::sparql

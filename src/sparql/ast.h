@@ -1,0 +1,96 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sparql/term.h"
+
+namespace sparqlsim::sparql {
+
+/// Algebra node kinds for the query language S of the paper (Sect. 4.3)
+/// plus UNION (Sect. 4.2): Q ::= BGP | Q AND Q | Q OPTIONAL Q | Q UNION Q.
+enum class PatternKind { kBgp, kJoin, kOptional, kUnion };
+
+/// A graph-pattern algebra tree.
+///
+/// Leaves are basic graph patterns (sets of triple patterns); inner nodes
+/// are AND (inner join), OPTIONAL (left outer join), and UNION. The helpers
+/// implement the paper's static notions: vars(Q), mand(Q) (Sect. 4.3), and
+/// the well-designedness check of Sect. 4.5.
+class Pattern {
+ public:
+  static std::unique_ptr<Pattern> Bgp(std::vector<TriplePattern> triples);
+  static std::unique_ptr<Pattern> Join(std::unique_ptr<Pattern> left,
+                                       std::unique_ptr<Pattern> right);
+  static std::unique_ptr<Pattern> Optional(std::unique_ptr<Pattern> left,
+                                           std::unique_ptr<Pattern> right);
+  static std::unique_ptr<Pattern> Union(std::unique_ptr<Pattern> left,
+                                        std::unique_ptr<Pattern> right);
+
+  PatternKind kind() const { return kind_; }
+  bool IsBgp() const { return kind_ == PatternKind::kBgp; }
+
+  /// Triple patterns; only valid for kBgp nodes.
+  const std::vector<TriplePattern>& triples() const { return triples_; }
+  const Pattern& left() const { return *left_; }
+  const Pattern& right() const { return *right_; }
+
+  /// vars(Q): all variables occurring anywhere in the pattern.
+  std::set<std::string> Vars() const;
+
+  /// mand(Q) per Sect. 4.3: mand(BGP) = vars, mand(AND) = union,
+  /// mand(OPTIONAL) = mand of the left side. For UNION we use the
+  /// intersection (a variable is certainly bound only if bound in every
+  /// branch), the standard conservative extension.
+  std::set<std::string> MandatoryVars() const;
+
+  bool IsUnionFree() const;
+
+  /// Number of triple patterns in the whole tree.
+  size_t NumTriples() const;
+
+  std::unique_ptr<Pattern> Clone() const;
+
+ private:
+  explicit Pattern(PatternKind kind) : kind_(kind) {}
+
+  void CollectVars(std::set<std::string>* out) const;
+
+  PatternKind kind_;
+  std::vector<TriplePattern> triples_;
+  std::unique_ptr<Pattern> left_;
+  std::unique_ptr<Pattern> right_;
+};
+
+/// A parsed SELECT query: projection plus a graph pattern.
+struct Query {
+  /// Projected variable names; empty means SELECT *.
+  std::vector<std::string> projection;
+  bool distinct = false;
+  std::unique_ptr<Pattern> where;
+
+  std::set<std::string> Vars() const { return where->Vars(); }
+
+  Query Clone() const {
+    return Query{projection, distinct, where->Clone()};
+  }
+};
+
+/// Well-designedness check (Sect. 4.5 / [27]): Q is well-designed iff for
+/// every sub-pattern O = (Q1 OPTIONAL Q2) and every variable v in vars(Q2)
+/// that also occurs in Q outside of O, v also occurs in vars(Q1).
+bool IsWellDesigned(const Pattern& root);
+
+/// Converts a BGP to its pattern-graph representation G(G) (Sect. 4.1):
+/// nodes are the distinct subject/object terms (variables and constants),
+/// labels are predicate ids assigned densely in first-seen order.
+/// `node_terms`/`label_names` receive the term of each graph node and the
+/// predicate text of each label. Only valid for BGP patterns.
+graph::Graph BgpToGraph(const std::vector<TriplePattern>& bgp,
+                        std::vector<Term>* node_terms,
+                        std::vector<std::string>* label_names);
+
+}  // namespace sparqlsim::sparql

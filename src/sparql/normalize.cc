@@ -1,0 +1,65 @@
+#include "sparql/normalize.h"
+
+namespace sparqlsim::sparql {
+
+std::vector<std::unique_ptr<Pattern>> UnionNormalForm(const Pattern& pattern) {
+  std::vector<std::unique_ptr<Pattern>> result;
+  switch (pattern.kind()) {
+    case PatternKind::kBgp:
+      result.push_back(pattern.Clone());
+      break;
+    case PatternKind::kUnion: {
+      for (auto& p : UnionNormalForm(pattern.left())) {
+        result.push_back(std::move(p));
+      }
+      for (auto& p : UnionNormalForm(pattern.right())) {
+        result.push_back(std::move(p));
+      }
+      break;
+    }
+    case PatternKind::kJoin:
+    case PatternKind::kOptional: {
+      auto lefts = UnionNormalForm(pattern.left());
+      auto rights = UnionNormalForm(pattern.right());
+      for (const auto& l : lefts) {
+        for (const auto& r : rights) {
+          if (pattern.kind() == PatternKind::kJoin) {
+            result.push_back(Pattern::Join(l->Clone(), r->Clone()));
+          } else {
+            result.push_back(Pattern::Optional(l->Clone(), r->Clone()));
+          }
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::unique_ptr<Pattern> MergeBgps(std::unique_ptr<Pattern> pattern) {
+  if (pattern->IsBgp()) return pattern;
+
+  auto left = MergeBgps(pattern->left().Clone());
+  auto right = MergeBgps(pattern->right().Clone());
+
+  if (pattern->kind() == PatternKind::kJoin && left->IsBgp() &&
+      right->IsBgp()) {
+    std::vector<TriplePattern> merged = left->triples();
+    for (const TriplePattern& t : right->triples()) merged.push_back(t);
+    return Pattern::Bgp(std::move(merged));
+  }
+
+  switch (pattern->kind()) {
+    case PatternKind::kJoin:
+      return Pattern::Join(std::move(left), std::move(right));
+    case PatternKind::kOptional:
+      return Pattern::Optional(std::move(left), std::move(right));
+    case PatternKind::kUnion:
+      return Pattern::Union(std::move(left), std::move(right));
+    case PatternKind::kBgp:
+      break;
+  }
+  return pattern;
+}
+
+}  // namespace sparqlsim::sparql

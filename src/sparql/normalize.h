@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sparql/ast.h"
+
+namespace sparqlsim::sparql {
+
+/// Union normal form (Prop. 3 of the paper / Prop. 3.8 of Perez et al.):
+/// rewrites a pattern into a list of union-free patterns whose combined
+/// result set covers the original.
+///
+/// Distribution rules: UNION branches are flattened; Join distributes over
+/// UNION on both sides (exact); OPTIONAL distributes over UNION on the left
+/// side (exact — left outer join distributes over union of left inputs) and
+/// on the right side (a sound over-approximation: every match of
+/// Q1 OPTIONAL (A UNION B) is a match of Q1 OPTIONAL A or of Q1 OPTIONAL B,
+/// though the converse may fail). The over-approximation is precisely what
+/// the dual-simulation pruning path needs — soundness in the sense of
+/// Def. 3 is preserved. The exact evaluation engine never uses this
+/// normalization; it evaluates UNION nodes directly.
+std::vector<std::unique_ptr<Pattern>> UnionNormalForm(const Pattern& pattern);
+
+/// Bottom-up algebraic simplification: collapses Join(BGP, BGP) into a
+/// single merged BGP (their SPARQL semantics coincide), recursively. This
+/// gives the evaluation engine maximal freedom for join ordering within
+/// conjunctive blocks.
+std::unique_ptr<Pattern> MergeBgps(std::unique_ptr<Pattern> pattern);
+
+}  // namespace sparqlsim::sparql

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/status.h"
+
+namespace sparqlsim::sparql {
+
+/// Recursive-descent parser for the SPARQL fragment studied by the paper.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   Query    := Prefix* 'SELECT' 'DISTINCT'? ('*' | Var+) 'WHERE'? Group
+///   Prefix   := 'PREFIX' PNAME ':' IRIREF
+///   Group    := '{' ( Triple ('.' )? | 'OPTIONAL' Group
+///                   | Group ('UNION' Group)* )* '}'
+///   Triple   := Term Term Term
+///   Term     := '?'Name | '<'iri'>' | pname':'local | '"'text'"' | number
+///               | 'a'  (expands to the predicate IRI rdf:type)
+///
+/// Group elements fold left: triples accumulate into BGPs, sub-groups join
+/// (AND), OPTIONAL groups attach as left-outer extensions — the standard
+/// SPARQL algebra translation. Predicate positions must be IRIs (the
+/// paper's graph model has a fixed edge-label alphabet, Sect. 2), so a
+/// variable predicate is a parse error.
+class Parser {
+ public:
+  /// Parses a full SELECT query.
+  static util::Result<Query> Parse(std::string_view text);
+
+  /// Parses just a group graph pattern, e.g. "{ ?s <p> ?o . }".
+  static util::Result<std::unique_ptr<Pattern>> ParsePattern(
+      std::string_view text);
+};
+
+}  // namespace sparqlsim::sparql

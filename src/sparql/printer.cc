@@ -1,0 +1,62 @@
+#include "sparql/printer.h"
+
+#include <sstream>
+
+namespace sparqlsim::sparql {
+
+namespace {
+
+void Print(const Pattern& p, std::ostringstream* out) {
+  switch (p.kind()) {
+    case PatternKind::kBgp:
+      *out << "{ ";
+      for (const TriplePattern& t : p.triples()) *out << t.ToString() << " ";
+      *out << "}";
+      break;
+    case PatternKind::kJoin:
+      *out << "{ ";
+      Print(p.left(), out);
+      *out << " ";
+      Print(p.right(), out);
+      *out << " }";
+      break;
+    case PatternKind::kOptional:
+      *out << "{ ";
+      Print(p.left(), out);
+      *out << " OPTIONAL ";
+      Print(p.right(), out);
+      *out << " }";
+      break;
+    case PatternKind::kUnion:
+      *out << "{ ";
+      Print(p.left(), out);
+      *out << " UNION ";
+      Print(p.right(), out);
+      *out << " }";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToString(const Pattern& pattern) {
+  std::ostringstream out;
+  Print(pattern, &out);
+  return out.str();
+}
+
+std::string ToString(const Query& query) {
+  std::ostringstream out;
+  out << "SELECT ";
+  if (query.distinct) out << "DISTINCT ";
+  if (query.projection.empty()) {
+    out << "*";
+  } else {
+    for (const std::string& v : query.projection) out << "?" << v << " ";
+  }
+  out << " WHERE ";
+  Print(*query.where, &out);
+  return out.str();
+}
+
+}  // namespace sparqlsim::sparql

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "sparql/ast.h"
+
+namespace sparqlsim::sparql {
+
+/// Serializes a pattern back to SPARQL group syntax (round-trippable
+/// through Parser::ParsePattern).
+std::string ToString(const Pattern& pattern);
+
+/// Serializes a full query back to SPARQL.
+std::string ToString(const Query& query);
+
+}  // namespace sparqlsim::sparql

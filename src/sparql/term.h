@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace sparqlsim::sparql {
+
+/// One position of a triple pattern: a variable, an IRI constant, or a
+/// literal constant.
+///
+/// Variables are stored without the leading '?'. IRIs are stored without
+/// angle brackets (after PREFIX expansion), literals without quotes.
+class Term {
+ public:
+  enum class Kind { kVariable, kIri, kLiteral };
+
+  static Term Var(std::string name) {
+    return Term(Kind::kVariable, std::move(name));
+  }
+  static Term Iri(std::string iri) { return Term(Kind::kIri, std::move(iri)); }
+  static Term Literal(std::string value) {
+    return Term(Kind::kLiteral, std::move(value));
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ != Kind::kVariable; }
+  bool IsLiteral() const { return kind_ == Kind::kLiteral; }
+
+  /// Variable name / IRI text / literal text, depending on kind().
+  const std::string& text() const { return text_; }
+
+  /// SPARQL surface form: `?name`, `<iri>`, or `"literal"`.
+  std::string ToString() const;
+
+  friend bool operator==(const Term&, const Term&) = default;
+
+ private:
+  Term(Kind kind, std::string text) : kind_(kind), text_(std::move(text)) {}
+
+  Kind kind_;
+  std::string text_;
+};
+
+/// A SPARQL triple pattern (s, p, o). The predicate must be an IRI: the
+/// paper's data model treats predicates as a fixed edge-label alphabet
+/// (Sect. 2), so predicate variables are rejected at parse time.
+struct TriplePattern {
+  Term subject;
+  Term predicate;
+  Term object;
+
+  std::string ToString() const;
+
+  friend bool operator==(const TriplePattern&, const TriplePattern&) = default;
+};
+
+}  // namespace sparqlsim::sparql

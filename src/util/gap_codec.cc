@@ -1,0 +1,106 @@
+#include "util/gap_codec.h"
+
+#include <cassert>
+
+namespace sparqlsim::util {
+
+namespace {
+
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+size_t VarintSize(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+uint64_t ReadVarint(const std::vector<uint8_t>& buffer, size_t* pos) {
+  uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    assert(*pos < buffer.size());
+    uint8_t byte = buffer[(*pos)++];
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+/// Calls fn(run_length) for every alternating run, starting with zeros.
+template <typename Fn>
+void ForEachRun(const BitVector& bits, Fn&& fn) {
+  size_t pos = 0;
+  bool current = false;
+  while (pos < bits.size()) {
+    size_t run = 0;
+    while (pos + run < bits.size() && bits.Test(pos + run) == current) ++run;
+    fn(run);
+    pos += run;
+    current = !current;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> GapCodec::Encode(const BitVector& bits) {
+  std::vector<uint8_t> out;
+  ForEachRun(bits, [&](size_t run) { AppendVarint(run, &out); });
+  return out;
+}
+
+BitVector GapCodec::Decode(const std::vector<uint8_t>& buffer, size_t num_bits) {
+  BitVector bits(num_bits);
+  size_t pos = 0;
+  size_t bit = 0;
+  bool current = false;
+  while (pos < buffer.size() && bit < num_bits) {
+    uint64_t run = ReadVarint(buffer, &pos);
+    if (current) {
+      for (uint64_t i = 0; i < run; ++i) bits.Set(bit + i);
+    }
+    bit += run;
+    current = !current;
+  }
+  assert(bit <= num_bits);
+  return bits;
+}
+
+size_t GapCodec::EncodedSize(const BitVector& bits) {
+  size_t total = 0;
+  ForEachRun(bits, [&](size_t run) { total += VarintSize(run); });
+  return total;
+}
+
+size_t GapCodec::EncodedSizeFromIndices(std::span<const uint32_t> indices,
+                                        size_t num_bits) {
+  size_t total = 0;
+  size_t pos = 0;  // next unencoded bit position
+  size_t i = 0;
+  while (i < indices.size()) {
+    // Zero run up to the next set bit.
+    total += VarintSize(indices[i] - pos);
+    // One run of consecutive indices.
+    size_t run = 1;
+    while (i + run < indices.size() &&
+           indices[i + run] == indices[i] + run) {
+      ++run;
+    }
+    total += VarintSize(run);
+    pos = indices[i] + run;
+    i += run;
+  }
+  if (pos < num_bits) total += VarintSize(num_bits - pos);
+  return total;
+}
+
+}  // namespace sparqlsim::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sparqlsim::util {
+
+/// Deterministic 64-bit PRNG (splitmix64).
+///
+/// All synthetic data generators take a Rng seeded explicitly, so every
+/// dataset, query workload, and property test in this repository is
+/// reproducible bit-for-bit from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples ranks from a Zipf distribution with exponent `s` over
+/// {0, ..., n-1}; rank 0 is the most likely. Used by the DBpedia-like
+/// generator to reproduce the heavily skewed predicate-selectivity profile
+/// of real knowledge graphs.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sparqlsim::util

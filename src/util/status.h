@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sparqlsim::util {
+
+/// Lightweight success/error carrier (no exceptions on parse paths).
+class Status {
+ public:
+  static Status Ok() { return Status(true, {}); }
+  static Status Error(std::string message) {
+    return Status(false, std::move(message));
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  Status(bool ok, std::string message) : ok_(ok), message_(std::move(message)) {}
+
+  bool ok_;
+  std::string message_;
+};
+
+/// Either a value or an error status. Used by parsers and loaders.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const Status& status() const {
+    assert(!ok());
+    return std::get<Status>(data_);
+  }
+
+  const std::string& error_message() const { return status().message(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace sparqlsim::util

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "datagen/random_graphs.h"
+#include "sim/dual_simulation.h"
+#include "sim/hhk_baseline.h"
+#include "sim/ma_baseline.h"
+#include "sim/naive_oracle.h"
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+using datagen::MakeRandomDatabase;
+using datagen::MakeRandomPattern;
+using datagen::RandomGraphConfig;
+
+/// The largest dual simulation is unique (Prop. 1), so every algorithm
+/// must return the identical relation. This is the central cross-check of
+/// the repository: SOI solver == Ma et al. == HHK == brute-force oracle.
+struct EquivalenceCase {
+  size_t db_nodes;
+  size_t db_edges;
+  size_t labels;
+  size_t pattern_nodes;
+  size_t pattern_extra_edges;
+  uint64_t seed;
+};
+
+class BaselineEquivalence : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(BaselineEquivalence, AllAlgorithmsAgree) {
+  const EquivalenceCase& c = GetParam();
+  RandomGraphConfig config;
+  config.num_nodes = c.db_nodes;
+  config.num_edges = c.db_edges;
+  config.num_labels = c.labels;
+  config.seed = c.seed;
+  graph::GraphDatabase db = MakeRandomDatabase(config);
+  graph::Graph pattern = MakeRandomPattern(c.pattern_nodes,
+                                           c.pattern_extra_edges, c.labels,
+                                           c.seed * 31 + 7);
+
+  Solution soi = LargestDualSimulation(pattern, db);
+  Solution ma = MaDualSimulation(pattern, db);
+  Solution hhk = HhkDualSimulation(pattern, db);
+  auto oracle = OracleLargestDualSimulation(pattern, db);
+
+  std::set<std::pair<uint32_t, uint32_t>> from_soi, from_ma, from_hhk;
+  for (uint32_t v = 0; v < pattern.NumNodes(); ++v) {
+    soi.candidates[v].ForEachSetBit(
+        [&](uint32_t x) { from_soi.emplace(v, x); });
+    ma.candidates[v].ForEachSetBit([&](uint32_t x) { from_ma.emplace(v, x); });
+    hhk.candidates[v].ForEachSetBit(
+        [&](uint32_t x) { from_hhk.emplace(v, x); });
+  }
+  EXPECT_EQ(from_soi, oracle);
+  EXPECT_EQ(from_ma, oracle);
+  EXPECT_EQ(from_hhk, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSweep, BaselineEquivalence,
+    ::testing::Values(
+        EquivalenceCase{20, 60, 2, 3, 1, 1}, EquivalenceCase{20, 60, 2, 3, 1, 2},
+        EquivalenceCase{30, 90, 3, 4, 2, 3}, EquivalenceCase{30, 90, 3, 4, 2, 4},
+        EquivalenceCase{40, 200, 2, 5, 3, 5},
+        EquivalenceCase{40, 200, 4, 5, 3, 6},
+        EquivalenceCase{50, 100, 3, 4, 0, 7},
+        EquivalenceCase{50, 400, 5, 6, 4, 8},
+        EquivalenceCase{60, 120, 1, 3, 2, 9},
+        EquivalenceCase{60, 300, 2, 2, 2, 10},
+        EquivalenceCase{25, 50, 6, 4, 1, 11},
+        EquivalenceCase{80, 500, 3, 5, 2, 12}));
+
+/// Solver strategy knobs must not change the fixpoint (only the route to
+/// it): row-wise, column-wise, dynamic, with and without Eq. (13) init and
+/// ordering heuristic.
+class SolverStrategyEquivalence
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverStrategyEquivalence, AllStrategiesReachSameFixpoint) {
+  uint64_t seed = GetParam();
+  RandomGraphConfig config;
+  config.num_nodes = 60;
+  config.num_edges = 240;
+  config.num_labels = 3;
+  config.seed = seed;
+  graph::GraphDatabase db = MakeRandomDatabase(config);
+  graph::Graph pattern = MakeRandomPattern(4, 3, 3, seed + 1000);
+
+  std::vector<SolverOptions> variants;
+  for (bool summary : {false, true}) {
+    for (bool order : {false, true}) {
+      for (auto mode : {SolverOptions::EvalMode::kRowWise,
+                        SolverOptions::EvalMode::kColumnWise,
+                        SolverOptions::EvalMode::kDynamic}) {
+        SolverOptions o;
+        o.summary_init = summary;
+        o.order_by_sparsity = order;
+        o.eval_mode = mode;
+        variants.push_back(o);
+      }
+    }
+  }
+
+  Solution reference = LargestDualSimulation(pattern, db, variants[0]);
+  for (size_t i = 1; i < variants.size(); ++i) {
+    Solution other = LargestDualSimulation(pattern, db, variants[i]);
+    ASSERT_EQ(reference.candidates.size(), other.candidates.size());
+    for (size_t v = 0; v < reference.candidates.size(); ++v) {
+      EXPECT_EQ(reference.candidates[v], other.candidates[v])
+          << "variant " << i << " differs on pattern node " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverStrategyEquivalence,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(BaselineStatsTest, MaNeedsMoreSweepsThanSoiRounds) {
+  // The motivating observation of Sect. 3: the passive full-sweep strategy
+  // re-checks everything until global stability, while the worklist only
+  // revisits invalidated inequalities. On a random graph Ma's sweep count
+  // is at least the SOI's round count.
+  RandomGraphConfig config;
+  config.num_nodes = 200;
+  config.num_edges = 800;
+  config.num_labels = 2;
+  config.seed = 77;
+  graph::GraphDatabase db = MakeRandomDatabase(config);
+  graph::Graph pattern = MakeRandomPattern(5, 3, 2, 78);
+
+  Solution soi = LargestDualSimulation(pattern, db);
+  Solution ma = MaDualSimulation(pattern, db);
+  EXPECT_GE(ma.stats.rounds, 1u);
+  EXPECT_GE(ma.stats.evaluations, soi.stats.updates);
+}
+
+TEST(BaselineConstantsTest, ConstantsRestrictAllAlgorithms) {
+  RandomGraphConfig config;
+  config.num_nodes = 30;
+  config.num_edges = 120;
+  config.num_labels = 2;
+  config.seed = 5;
+  graph::GraphDatabase db = MakeRandomDatabase(config);
+  graph::Graph pattern = MakeRandomPattern(3, 1, 2, 6);
+
+  std::vector<std::optional<uint32_t>> constants(3);
+  constants[0] = 4;  // pin pattern node 0 to database node 4
+
+  Soi soi = BuildSoiFromGraph(pattern);
+  soi.constants[0] = 4;
+  Solution s = SolveSoi(soi, db);
+  Solution ma = MaDualSimulation(pattern, db, constants);
+  Solution hhk = HhkDualSimulation(pattern, db, constants);
+  auto oracle = OracleLargestDualSimulation(pattern, db, constants);
+
+  std::set<std::pair<uint32_t, uint32_t>> from_soi, from_ma, from_hhk;
+  for (uint32_t v = 0; v < 3; ++v) {
+    s.candidates[v].ForEachSetBit([&](uint32_t x) { from_soi.emplace(v, x); });
+    ma.candidates[v].ForEachSetBit([&](uint32_t x) { from_ma.emplace(v, x); });
+    hhk.candidates[v].ForEachSetBit(
+        [&](uint32_t x) { from_hhk.emplace(v, x); });
+  }
+  EXPECT_EQ(from_soi, oracle);
+  EXPECT_EQ(from_ma, oracle);
+  EXPECT_EQ(from_hhk, oracle);
+  for (const auto& [v, x] : from_soi) {
+    if (v == 0) EXPECT_EQ(x, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

@@ -1,0 +1,116 @@
+#include "graph/binary_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datagen/lubm.h"
+#include "datagen/movies.h"
+#include "datagen/random_graphs.h"
+#include "graph/ntriples.h"
+
+namespace sparqlsim::graph {
+namespace {
+
+void ExpectSameDatabase(const GraphDatabase& a, const GraphDatabase& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumPredicates(), b.NumPredicates());
+  ASSERT_EQ(a.NumTriples(), b.NumTriples());
+  for (uint32_t node = 0; node < a.NumNodes(); ++node) {
+    EXPECT_EQ(a.nodes().Name(node), b.nodes().Name(node));
+    EXPECT_EQ(a.IsLiteral(node), b.IsLiteral(node));
+  }
+  for (uint32_t p = 0; p < a.NumPredicates(); ++p) {
+    EXPECT_EQ(a.predicates().Name(p), b.predicates().Name(p));
+    EXPECT_EQ(a.PredicateCardinality(p), b.PredicateCardinality(p));
+  }
+  std::vector<Triple> ta = a.AllTriples();
+  std::vector<Triple> tb = b.AllTriples();
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(BinaryIoTest, MovieRoundTrip) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::stringstream buffer;
+  BinaryIo::Save(db, buffer);
+  auto loaded = BinaryIo::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+  ExpectSameDatabase(db, loaded.value());
+}
+
+TEST(BinaryIoTest, RandomRoundTrips) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    datagen::RandomGraphConfig config;
+    config.num_nodes = 100;
+    config.num_edges = 500;
+    config.num_labels = 4;
+    config.seed = seed;
+    GraphDatabase db = datagen::MakeRandomDatabase(config);
+    std::stringstream buffer;
+    BinaryIo::Save(db, buffer);
+    auto loaded = BinaryIo::Load(buffer);
+    ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+    ExpectSameDatabase(db, loaded.value());
+  }
+}
+
+TEST(BinaryIoTest, LubmRoundTripPreservesIds) {
+  datagen::LubmConfig config;
+  config.num_universities = 1;
+  GraphDatabase db = datagen::MakeLubmDatabase(config);
+  std::stringstream buffer;
+  BinaryIo::Save(db, buffer);
+  auto loaded = BinaryIo::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+  // Dense first-seen interning preserves ids exactly.
+  EXPECT_EQ(*loaded.value().nodes().Lookup("U0/D0"),
+            *db.nodes().Lookup("U0/D0"));
+  ExpectSameDatabase(db, loaded.value());
+}
+
+TEST(BinaryIoTest, RejectsGarbage) {
+  std::stringstream buffer("not a database at all");
+  auto loaded = BinaryIo::Load(buffer);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("not a sparqlsim"),
+            std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::stringstream buffer;
+  BinaryIo::Save(db, buffer);
+  std::string bytes = buffer.str();
+  // Chop the stream at several points; every prefix must fail cleanly.
+  for (size_t cut : {size_t{4}, size_t{12}, bytes.size() / 2,
+                     bytes.size() - 3}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = BinaryIo::Load(truncated);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(BinaryIoTest, FileRoundTrip) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  const std::string path = "/tmp/sparqlsim_binary_io_test.gdb";
+  ASSERT_TRUE(BinaryIo::SaveFile(db, path).ok());
+  auto loaded = BinaryIo::LoadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+  ExpectSameDatabase(db, loaded.value());
+  EXPECT_FALSE(BinaryIo::LoadFile("/nonexistent/x.gdb").ok());
+}
+
+TEST(BinaryIoTest, BinaryIsSmallerThanNTriples) {
+  datagen::LubmConfig config;
+  config.num_universities = 1;
+  GraphDatabase db = datagen::MakeLubmDatabase(config);
+  std::stringstream binary;
+  BinaryIo::Save(db, binary);
+  // Rough comparison against the text serialization.
+  std::stringstream text;
+  NTriples::Write(db, text);
+  EXPECT_LT(binary.str().size(), text.str().size());
+}
+
+}  // namespace
+}  // namespace sparqlsim::graph

@@ -1,0 +1,133 @@
+#include "util/bitmatrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sparqlsim::util {
+namespace {
+
+BitMatrix MakeFigureMatrix() {
+  // F_born_in of Fig. 2(a) in the paper: nodes are
+  // 0=place, 1=director1, 2=director2, 3=coworker, 4=movie;
+  // edges director1 -> place, director2 -> place.
+  return BitMatrix::Build(5, 5, {{1, 0}, {2, 0}});
+}
+
+TEST(BitMatrixTest, BuildAndAccess) {
+  BitMatrix m = MakeFigureMatrix();
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.Nnz(), 2u);
+  EXPECT_TRUE(m.Test(1, 0));
+  EXPECT_TRUE(m.Test(2, 0));
+  EXPECT_FALSE(m.Test(0, 1));
+  EXPECT_EQ(m.NumNonEmptyRows(), 2u);
+}
+
+TEST(BitMatrixTest, BuildMergesDuplicates) {
+  BitMatrix m = BitMatrix::Build(3, 3, {{0, 1}, {0, 1}, {2, 2}});
+  EXPECT_EQ(m.Nnz(), 2u);
+}
+
+TEST(BitMatrixTest, PaperExampleProducts) {
+  // Sect. 3.2: chi(director) = 11111, multiplied by F_born_in gives 10000;
+  // chi(place) = 11111 multiplied by B_born_in gives 01100.
+  BitMatrix fwd = MakeFigureMatrix();
+  BitMatrix bwd = fwd.Transposed();
+  BitVector all(5, true);
+  BitVector out(5);
+  fwd.Multiply(all, &out);
+  EXPECT_EQ(out.ToString(), "10000");
+  bwd.Multiply(all, &out);
+  EXPECT_EQ(out.ToString(), "01100");
+}
+
+TEST(BitMatrixTest, MultiplySelectsRows) {
+  BitMatrix m = BitMatrix::Build(4, 4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  BitVector x = BitVector::FromIndices(4, {0, 2});
+  BitVector out(4);
+  m.Multiply(x, &out);
+  EXPECT_EQ(out.ToIndexVector(), (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(BitMatrixTest, MultiplyEmptySelection) {
+  BitMatrix m = MakeFigureMatrix();
+  BitVector x(5);
+  BitVector out(5, true);
+  m.Multiply(x, &out);
+  EXPECT_TRUE(out.None());
+}
+
+TEST(BitMatrixTest, RowIntersects) {
+  BitMatrix m = BitMatrix::Build(3, 5, {{0, 1}, {0, 3}, {2, 4}});
+  BitVector y = BitVector::FromIndices(5, {3});
+  EXPECT_TRUE(m.RowIntersects(0, y));
+  EXPECT_FALSE(m.RowIntersects(1, y));
+  EXPECT_FALSE(m.RowIntersects(2, y));
+}
+
+TEST(BitMatrixTest, Summaries) {
+  BitMatrix m = MakeFigureMatrix();
+  EXPECT_EQ(m.RowSummary().ToString(), "01100");  // f^born_in of Fig. 2(a)
+  EXPECT_EQ(m.ColSummary().ToString(), "10000");  // b^born_in
+  EXPECT_EQ(m.CountEmptyColumns(), 4u);
+}
+
+TEST(BitMatrixTest, TransposeRoundTrip) {
+  Rng rng(5);
+  std::vector<std::pair<uint32_t, uint32_t>> entries;
+  for (int i = 0; i < 300; ++i) {
+    entries.emplace_back(static_cast<uint32_t>(rng.NextBounded(40)),
+                         static_cast<uint32_t>(rng.NextBounded(60)));
+  }
+  BitMatrix m = BitMatrix::Build(40, 60, std::move(entries));
+  BitMatrix tt = m.Transposed().Transposed();
+  EXPECT_EQ(m.Nnz(), tt.Nnz());
+  for (size_t r = 0; r < 40; ++r) {
+    for (size_t c = 0; c < 60; ++c) {
+      EXPECT_EQ(m.Test(r, c), tt.Test(r, c));
+    }
+  }
+}
+
+TEST(BitMatrixTest, MultiplyMatchesNaive) {
+  Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t rows = 1 + rng.NextBounded(80);
+    size_t cols = 1 + rng.NextBounded(80);
+    std::vector<std::pair<uint32_t, uint32_t>> entries;
+    size_t nnz = rng.NextBounded(200);
+    for (size_t i = 0; i < nnz; ++i) {
+      entries.emplace_back(static_cast<uint32_t>(rng.NextBounded(rows)),
+                           static_cast<uint32_t>(rng.NextBounded(cols)));
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> copy = entries;
+    BitMatrix m = BitMatrix::Build(rows, cols, std::move(entries));
+
+    BitVector x(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      if (rng.NextBool(0.4)) x.Set(r);
+    }
+    BitVector expected(cols);
+    for (const auto& [r, c] : copy) {
+      if (x.Test(r)) expected.Set(c);
+    }
+    BitVector out(cols);
+    m.Multiply(x, &out);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(BitMatrixTest, EmptyMatrix) {
+  BitMatrix m(10, 10);
+  EXPECT_EQ(m.Nnz(), 0u);
+  EXPECT_FALSE(m.RowAny(3));
+  BitVector all(10, true);
+  BitVector out(10);
+  m.Multiply(all, &out);
+  EXPECT_TRUE(out.None());
+}
+
+}  // namespace
+}  // namespace sparqlsim::util

@@ -1,0 +1,212 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sparqlsim::util {
+namespace {
+
+TEST(BitVectorTest, StartsEmpty) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.None());
+  EXPECT_FALSE(v.Any());
+}
+
+TEST(BitVectorTest, ConstructAllOnes) {
+  BitVector v(70, true);
+  EXPECT_EQ(v.Count(), 70u);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(69));
+}
+
+TEST(BitVectorTest, SetResetTest) {
+  BitVector v(130);
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Reset(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, SetAllMasksTail) {
+  BitVector v(67);
+  v.SetAll();
+  EXPECT_EQ(v.Count(), 67u);
+}
+
+TEST(BitVectorTest, AndWithReportsChange) {
+  BitVector a = BitVector::FromIndices(128, {1, 5, 70});
+  BitVector b = BitVector::FromIndices(128, {1, 5, 70, 90});
+  EXPECT_FALSE(a.AndWith(b));  // subset: no change
+  BitVector c = BitVector::FromIndices(128, {1, 70});
+  EXPECT_TRUE(a.AndWith(c));
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_FALSE(a.Test(5));
+}
+
+TEST(BitVectorTest, OrWithReportsChange) {
+  BitVector a = BitVector::FromIndices(64, {3});
+  BitVector b = BitVector::FromIndices(64, {3});
+  EXPECT_FALSE(a.OrWith(b));
+  BitVector c = BitVector::FromIndices(64, {9});
+  EXPECT_TRUE(a.OrWith(c));
+  EXPECT_TRUE(a.Test(9));
+}
+
+TEST(BitVectorTest, AndNotWith) {
+  BitVector a = BitVector::FromIndices(64, {1, 2, 3});
+  BitVector b = BitVector::FromIndices(64, {2});
+  EXPECT_TRUE(a.AndNotWith(b));
+  EXPECT_EQ(a.ToIndexVector(), (std::vector<uint32_t>{1, 3}));
+  EXPECT_FALSE(a.AndNotWith(b));
+}
+
+TEST(BitVectorTest, IntersectsWith) {
+  BitVector a = BitVector::FromIndices(200, {150});
+  BitVector b = BitVector::FromIndices(200, {150, 7});
+  BitVector c = BitVector::FromIndices(200, {7});
+  EXPECT_TRUE(a.IntersectsWith(b));
+  EXPECT_FALSE(a.IntersectsWith(c));
+}
+
+TEST(BitVectorTest, IsSubsetOf) {
+  BitVector a = BitVector::FromIndices(100, {10, 20});
+  BitVector b = BitVector::FromIndices(100, {10, 20, 30});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  BitVector empty(100);
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(BitVectorTest, FindFirstNext) {
+  BitVector v = BitVector::FromIndices(300, {5, 64, 299});
+  EXPECT_EQ(v.FindFirst(), 5);
+  EXPECT_EQ(v.FindNext(5), 64);
+  EXPECT_EQ(v.FindNext(64), 299);
+  EXPECT_EQ(v.FindNext(299), -1);
+  BitVector empty(300);
+  EXPECT_EQ(empty.FindFirst(), -1);
+}
+
+TEST(BitVectorTest, ForEachSetBitVisitsAscending) {
+  std::vector<uint32_t> indices = {0, 63, 64, 127, 128, 200};
+  BitVector v = BitVector::FromIndices(256, indices);
+  std::vector<uint32_t> seen;
+  v.ForEachSetBit([&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, indices);
+}
+
+TEST(BitVectorTest, ResizeKeepsPrefix) {
+  BitVector v = BitVector::FromIndices(64, {10, 63});
+  v.Resize(128);
+  EXPECT_TRUE(v.Test(10));
+  EXPECT_TRUE(v.Test(63));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, ToStringFormat) {
+  BitVector v = BitVector::FromIndices(5, {0, 3});
+  EXPECT_EQ(v.ToString(), "10010");
+}
+
+TEST(BitVectorTest, EqualityIncludesSize) {
+  BitVector a(10), b(10), c(11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  a.Set(3);
+  EXPECT_NE(a, b);
+}
+
+/// Word-boundary property sweep: every bulk operation must behave at
+/// sizes straddling the 64-bit word boundaries (the MaskTail invariant).
+class BitVectorBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitVectorBoundary, BulkOpsRespectSize) {
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  BitVector a(n), b(n);
+  std::vector<bool> ra(n, false), rb(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBool(0.5)) {
+      a.Set(i);
+      ra[i] = true;
+    }
+    if (rng.NextBool(0.5)) {
+      b.Set(i);
+      rb[i] = true;
+    }
+  }
+
+  BitVector all(n, true);
+  EXPECT_EQ(all.Count(), n);
+
+  BitVector and_copy = a;
+  and_copy.AndWith(b);
+  BitVector or_copy = a;
+  or_copy.OrWith(b);
+  BitVector andnot_copy = a;
+  andnot_copy.AndNotWith(b);
+  size_t expected_and = 0, expected_or = 0, expected_andnot = 0;
+  bool expected_intersects = false, expected_subset = true;
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(and_copy.Test(i), ra[i] && rb[i]);
+    EXPECT_EQ(or_copy.Test(i), ra[i] || rb[i]);
+    EXPECT_EQ(andnot_copy.Test(i), ra[i] && !rb[i]);
+    expected_and += (ra[i] && rb[i]) ? 1 : 0;
+    expected_or += (ra[i] || rb[i]) ? 1 : 0;
+    expected_andnot += (ra[i] && !rb[i]) ? 1 : 0;
+    expected_intersects |= (ra[i] && rb[i]);
+    expected_subset &= (!ra[i] || rb[i]);
+  }
+  EXPECT_EQ(and_copy.Count(), expected_and);
+  EXPECT_EQ(or_copy.Count(), expected_or);
+  EXPECT_EQ(andnot_copy.Count(), expected_andnot);
+  EXPECT_EQ(a.IntersectsWith(b), expected_intersects);
+  EXPECT_EQ(a.IsSubsetOf(b), expected_subset);
+
+  // SetAll never leaks past the logical size.
+  BitVector full(n);
+  full.SetAll();
+  EXPECT_EQ(full.Count(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, BitVectorBoundary,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129,
+                                           191, 192, 193, 255, 256, 1000));
+
+TEST(BitVectorTest, RandomizedAgainstReferenceSet) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.NextBounded(500);
+    BitVector v(n);
+    std::vector<bool> ref(n, false);
+    for (int ops = 0; ops < 200; ++ops) {
+      size_t i = rng.NextBounded(n);
+      if (rng.NextBool(0.5)) {
+        v.Set(i);
+        ref[i] = true;
+      } else {
+        v.Reset(i);
+        ref[i] = false;
+      }
+    }
+    size_t expected = 0;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(v.Test(i), ref[i]);
+      expected += ref[i] ? 1 : 0;
+    }
+    EXPECT_EQ(v.Count(), expected);
+  }
+}
+
+}  // namespace
+}  // namespace sparqlsim::util

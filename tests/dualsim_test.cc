@@ -1,0 +1,207 @@
+#include "sim/dual_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "graph/graph.h"
+#include "graph/graph_database.h"
+#include "sim/soi.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+using graph::Graph;
+using graph::GraphDatabase;
+using graph::GraphDatabaseBuilder;
+
+/// Builds the data graph of Fig. 2(b): place <-born_in- director
+/// -worked_with-> coworker, director -directed-> movie.
+GraphDatabase MakeFig2b() {
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("director", "born_in", "place").ok());
+  EXPECT_TRUE(b.AddTriple("director", "worked_with", "coworker").ok());
+  EXPECT_TRUE(b.AddTriple("director", "directed", "movie").ok());
+  return std::move(b).Build();
+}
+
+/// Pattern graph of Fig. 2(a): two directors, one with a coworker, one
+/// with a movie, both born in the same place. Labels are interned against
+/// a database's predicate dictionary.
+Graph MakeFig2a(const GraphDatabase& db) {
+  auto label = [&](const char* name) {
+    auto id = db.predicates().Lookup(name);
+    return id ? *id : kEmptyPredicate;
+  };
+  Graph g(5);  // 0=place, 1=director1, 2=director2, 3=coworker, 4=movie
+  g.AddEdge(1, label("born_in"), 0);
+  g.AddEdge(2, label("born_in"), 0);
+  g.AddEdge(1, label("worked_with"), 3);
+  g.AddEdge(2, label("directed"), 4);
+  return g;
+}
+
+TEST(DualSimulationTest, Fig2bDualSimulatesFig2a) {
+  // The worked example of Sect. 2: relation (1) is the largest dual
+  // simulation between Fig. 2(a) and Fig. 2(b).
+  GraphDatabase db = MakeFig2b();
+  Graph pattern = MakeFig2a(db);
+  Solution s = LargestDualSimulation(pattern, db);
+  ASSERT_TRUE(s.AnyCandidate());
+
+  auto id = [&](const char* name) { return *db.nodes().Lookup(name); };
+  // place -> {place}, director1/2 -> {director}, coworker -> {coworker},
+  // movie -> {movie}.
+  EXPECT_EQ(s.candidates[0].ToIndexVector(),
+            (std::vector<uint32_t>{id("place")}));
+  EXPECT_EQ(s.candidates[1].ToIndexVector(),
+            (std::vector<uint32_t>{id("director")}));
+  EXPECT_EQ(s.candidates[2].ToIndexVector(),
+            (std::vector<uint32_t>{id("director")}));
+  EXPECT_EQ(s.candidates[3].ToIndexVector(),
+            (std::vector<uint32_t>{id("coworker")}));
+  EXPECT_EQ(s.candidates[4].ToIndexVector(),
+            (std::vector<uint32_t>{id("movie")}));
+}
+
+TEST(DualSimulationTest, Fig1bNotDualSimulatedByFig2a) {
+  // Sect. 2: the graph of Fig. 2(a) neither dual simulates nor is dual
+  // simulated by the (X1) pattern of Fig. 1(b). Here: Fig. 2(a) as data
+  // does not dual simulate the (X1) pattern, because its directors split
+  // the directed/worked_with obligations.
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("director1", "born_in", "place").ok());
+  EXPECT_TRUE(b.AddTriple("director2", "born_in", "place").ok());
+  EXPECT_TRUE(b.AddTriple("director1", "worked_with", "coworker").ok());
+  EXPECT_TRUE(b.AddTriple("director2", "directed", "movie").ok());
+  GraphDatabase db = std::move(b).Build();
+
+  auto label = [&](const char* name) { return *db.predicates().Lookup(name); };
+  Graph x1(3);  // 0=director, 1=movie, 2=coworker
+  x1.AddEdge(0, label("directed"), 1);
+  x1.AddEdge(0, label("worked_with"), 2);
+
+  EXPECT_FALSE(DualSimulates(x1, db));
+}
+
+TEST(DualSimulationTest, MovieDatabaseMatchesPaperRelationTwo) {
+  // Dual simulation (2) of Sect. 2: evaluating the (X1) pattern against
+  // the Fig. 1(a) database keeps exactly De Palma/Hamilton as directors,
+  // Koepp/Saltzman as coworkers, and the two directed movies.
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  auto label = [&](const char* name) { return *db.predicates().Lookup(name); };
+  Graph x1(3);  // 0=director, 1=movie, 2=coworker
+  x1.AddEdge(0, label("directed"), 1);
+  x1.AddEdge(0, label("worked_with"), 2);
+
+  Solution s = LargestDualSimulation(x1, db);
+  auto id = [&](const char* name) { return *db.nodes().Lookup(name); };
+
+  std::vector<uint32_t> directors = {id("B. De Palma"), id("G. Hamilton")};
+  std::sort(directors.begin(), directors.end());
+  std::vector<uint32_t> movies = {id("Mission: Impossible"), id("Goldfinger")};
+  std::sort(movies.begin(), movies.end());
+  std::vector<uint32_t> coworkers = {id("D. Koepp"), id("H. Saltzman")};
+  std::sort(coworkers.begin(), coworkers.end());
+
+  EXPECT_EQ(s.candidates[0].ToIndexVector(), directors);
+  EXPECT_EQ(s.candidates[1].ToIndexVector(), movies);
+  EXPECT_EQ(s.candidates[2].ToIndexVector(), coworkers);
+}
+
+TEST(DualSimulationTest, Fig4TransitivityCounterexample) {
+  // Fig. 4 / Sect. 4.1: node p4 survives dual simulation for the P pattern
+  // (v -knows-> w, w -knows-> v) although it belongs to no homomorphic
+  // match — dual simulation over-approximates.
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("p1", "knows", "p2").ok());
+  EXPECT_TRUE(b.AddTriple("p2", "knows", "p1").ok());
+  EXPECT_TRUE(b.AddTriple("p3", "knows", "p2").ok());
+  EXPECT_TRUE(b.AddTriple("p2", "knows", "p3").ok());
+  EXPECT_TRUE(b.AddTriple("p3", "knows", "p4").ok());
+  EXPECT_TRUE(b.AddTriple("p4", "knows", "p3").ok());
+  GraphDatabase db = std::move(b).Build();
+
+  auto label = [&](const char* name) { return *db.predicates().Lookup(name); };
+  Graph p(2);  // 0=v, 1=w
+  p.AddEdge(0, label("knows"), 1);
+  p.AddEdge(1, label("knows"), 0);
+
+  Solution s = LargestDualSimulation(p, db);
+  // All four nodes survive for both pattern variables.
+  EXPECT_EQ(s.candidates[0].Count(), 4u);
+  EXPECT_EQ(s.candidates[1].Count(), 4u);
+  EXPECT_TRUE(s.candidates[0].Test(*db.nodes().Lookup("p4")));
+}
+
+TEST(DualSimulationTest, EmptyWhenLabelAbsent) {
+  GraphDatabase db = MakeFig2b();
+  Graph pattern(2);
+  pattern.AddEdge(0, kEmptyPredicate, 1);
+  EXPECT_FALSE(DualSimulates(pattern, db));
+}
+
+TEST(DualSimulationTest, DisconnectedComponentsIndependent) {
+  // A pattern component with no match empties only its own component.
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("a", "p", "b").ok());
+  GraphDatabase db = std::move(b).Build();
+  auto label = [&](const char* name) { return *db.predicates().Lookup(name); };
+
+  Graph pattern(4);
+  pattern.AddEdge(0, label("p"), 1);       // satisfiable component
+  pattern.AddEdge(2, kEmptyPredicate, 3);  // unsatisfiable component
+  Solution s = LargestDualSimulation(pattern, db);
+  EXPECT_TRUE(s.candidates[0].Any());
+  EXPECT_TRUE(s.candidates[1].Any());
+  EXPECT_TRUE(s.candidates[2].None());
+  EXPECT_TRUE(s.candidates[3].None());
+}
+
+TEST(DualSimulationTest, CycleInPatternRequiresCycleInData) {
+  // A 2-cycle pattern is not dual simulated by a plain 2-chain.
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("x", "e", "y").ok());
+  EXPECT_TRUE(b.AddTriple("y", "e", "z").ok());
+  GraphDatabase chain = std::move(b).Build();
+  auto label = [&](const char* n) { return *chain.predicates().Lookup(n); };
+
+  Graph cycle(2);
+  cycle.AddEdge(0, label("e"), 1);
+  cycle.AddEdge(1, label("e"), 0);
+  EXPECT_FALSE(DualSimulates(cycle, chain));
+
+  // But it is dual simulated by a data graph containing a cycle.
+  GraphDatabaseBuilder b2;
+  EXPECT_TRUE(b2.AddTriple("x", "e", "y").ok());
+  EXPECT_TRUE(b2.AddTriple("y", "e", "x").ok());
+  GraphDatabase loop = std::move(b2).Build();
+  Graph cycle2(2);
+  cycle2.AddEdge(0, *loop.predicates().Lookup("e"), 1);
+  cycle2.AddEdge(1, *loop.predicates().Lookup("e"), 0);
+  EXPECT_TRUE(DualSimulates(cycle2, loop));
+}
+
+TEST(DualSimulationTest, SelfLoopDataSimulatesAnyPathPattern) {
+  // A single node with a self-loop dual simulates arbitrarily long path
+  // patterns of the same label (classic simulation folklore).
+  GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("n", "e", "n").ok());
+  GraphDatabase db = std::move(b).Build();
+  uint32_t e = *db.predicates().Lookup("e");
+  for (size_t len : {1u, 3u, 7u}) {
+    Graph path(len + 1);
+    for (uint32_t i = 0; i < len; ++i) path.AddEdge(i, e, i + 1);
+    EXPECT_TRUE(DualSimulates(path, db)) << "path length " << len;
+  }
+}
+
+TEST(DualSimulationTest, SingleNodePatternWithoutEdges) {
+  // An edgeless single-node pattern is dual simulated by every node.
+  GraphDatabase db = MakeFig2b();
+  Graph pattern(1);
+  Solution s = LargestDualSimulation(pattern, db);
+  EXPECT_EQ(s.candidates[0].Count(), db.NumNodes());
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

@@ -1,0 +1,236 @@
+#include "engine/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "engine/required_triples.h"
+#include "sparql/parser.h"
+
+namespace sparqlsim::engine {
+namespace {
+
+using sparql::Parser;
+
+sparql::Query Q(const char* text) {
+  auto r = Parser::Parse(text);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+  return std::move(r).value();
+}
+
+/// Collects rows as sets of (var, name) pairs for order-independent
+/// comparison, skipping unbound values.
+std::set<std::set<std::pair<std::string, std::string>>> Materialize(
+    const SolutionSet& rows, const graph::GraphDatabase& db) {
+  std::set<std::set<std::pair<std::string, std::string>>> out;
+  for (size_t i = 0; i < rows.NumRows(); ++i) {
+    std::set<std::pair<std::string, std::string>> row;
+    for (size_t c = 0; c < rows.Arity(); ++c) {
+      uint32_t v = rows.Row(i)[c];
+      if (v != kUnbound) row.emplace(rows.vars()[c], db.nodes().Name(v));
+    }
+    out.insert(std::move(row));
+  }
+  return out;
+}
+
+class EngineSemantics : public ::testing::TestWithParam<JoinOrderPolicy> {
+ protected:
+  graph::GraphDatabase db_ = datagen::MakeMovieDatabase();
+  Evaluator Make() const { return Evaluator(&db_, {GetParam()}); }
+};
+
+TEST_P(EngineSemantics, QueryX1TwoMatches) {
+  // (X1) on Fig. 1(a) retrieves exactly the two bold subgraphs.
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(Q(
+      "SELECT * WHERE { ?director <directed> ?movie . "
+      "?director <worked_with> ?coworker . }"));
+  auto result = Materialize(rows, db_);
+  std::set<std::set<std::pair<std::string, std::string>>> expected = {
+      {{"director", "B. De Palma"},
+       {"movie", "Mission: Impossible"},
+       {"coworker", "D. Koepp"}},
+      {{"director", "G. Hamilton"},
+       {"movie", "Goldfinger"},
+       {"coworker", "H. Saltzman"}},
+  };
+  EXPECT_EQ(result, expected);
+}
+
+TEST_P(EngineSemantics, QueryX2OptionalAddsPartialMatches) {
+  // (X2): all directors, coworker bound only where one exists — the bold
+  // plus the semi-thick subgraphs (D. Koepp and T. Young join in).
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(Q(
+      "SELECT * WHERE { ?director <directed> ?movie . "
+      "OPTIONAL { ?director <worked_with> ?coworker . } }"));
+  auto result = Materialize(rows, db_);
+  std::set<std::set<std::pair<std::string, std::string>>> expected = {
+      {{"director", "B. De Palma"},
+       {"movie", "Mission: Impossible"},
+       {"coworker", "D. Koepp"}},
+      {{"director", "G. Hamilton"},
+       {"movie", "Goldfinger"},
+       {"coworker", "H. Saltzman"}},
+      {{"director", "D. Koepp"}, {"movie", "Mortdecai"}},
+      {{"director", "T. Young"}, {"movie", "From Russia with Love"}},
+  };
+  EXPECT_EQ(result, expected);
+}
+
+TEST_P(EngineSemantics, ConstantsRestrict) {
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(
+      Q("SELECT * WHERE { ?d <directed> <Goldfinger> . }"));
+  auto result = Materialize(rows, db_);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count({{"d", "G. Hamilton"}}));
+}
+
+TEST_P(EngineSemantics, LiteralLookup) {
+  Evaluator eval = Make();
+  SolutionSet rows =
+      eval.Evaluate(Q("SELECT * WHERE { ?c <population> \"70063\" . }"));
+  auto result = Materialize(rows, db_);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count({{"c", "Saint John"}}));
+}
+
+TEST_P(EngineSemantics, UnknownConstantEmpty) {
+  Evaluator eval = Make();
+  EXPECT_EQ(
+      eval.Evaluate(Q("SELECT * WHERE { ?d <directed> <NoFilm> . }")).NumRows(),
+      0u);
+}
+
+TEST_P(EngineSemantics, UnknownPredicateEmpty) {
+  Evaluator eval = Make();
+  EXPECT_EQ(eval.Evaluate(Q("SELECT * WHERE { ?a <nope> ?b . }")).NumRows(),
+            0u);
+}
+
+TEST_P(EngineSemantics, UnionCombines) {
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(Q(
+      "SELECT * WHERE { { ?m <awarded> <Oscar> . } UNION "
+      "{ ?m <awarded> <BAFTA Awards> . } }"));
+  auto result = Materialize(rows, db_);
+  EXPECT_EQ(result.size(), 3u);
+  EXPECT_TRUE(result.count({{"m", "From Russia with Love"}}));
+}
+
+TEST_P(EngineSemantics, ProjectionAndDistinct) {
+  Evaluator eval = Make();
+  // Two movies share the Action genre: projecting the genre without
+  // DISTINCT yields two rows, with DISTINCT one.
+  SolutionSet plain =
+      eval.Evaluate(Q("SELECT ?g WHERE { ?m <genre> ?g . }"));
+  EXPECT_EQ(plain.NumRows(), 2u);
+  SolutionSet distinct =
+      eval.Evaluate(Q("SELECT DISTINCT ?g WHERE { ?m <genre> ?g . }"));
+  EXPECT_EQ(distinct.NumRows(), 1u);
+}
+
+TEST_P(EngineSemantics, SelfJoinSameVariableTwice) {
+  // ?x worked_with ?x has no match (no reflexive edge).
+  Evaluator eval = Make();
+  EXPECT_EQ(
+      eval.Evaluate(Q("SELECT * WHERE { ?x <worked_with> ?x . }")).NumRows(),
+      0u);
+}
+
+TEST_P(EngineSemantics, CyclicQuery) {
+  // sequel_of + shared genre triangle around Goldfinger.
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(Q(
+      "SELECT * WHERE { ?s <sequel_of> ?m . ?m <genre> ?g . }"));
+  auto result = Materialize(rows, db_);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count(
+      {{"s", "Thunderball"}, {"m", "Goldfinger"}, {"g", "Action"}}));
+}
+
+TEST_P(EngineSemantics, EmptyGroupYieldsUnit) {
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(Q("SELECT * WHERE { }"));
+  EXPECT_EQ(rows.NumRows(), 1u);
+  EXPECT_EQ(rows.Arity(), 0u);
+}
+
+TEST_P(EngineSemantics, OptionalOfEmptyLeft) {
+  // OPTIONAL at group start: unit left-extended by the optional matches.
+  Evaluator eval = Make();
+  SolutionSet rows = eval.Evaluate(
+      Q("SELECT * WHERE { OPTIONAL { ?d <directed> <Mortdecai> . } }"));
+  auto result = Materialize(rows, db_);
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result.count({{"d", "D. Koepp"}}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EngineSemantics,
+                         ::testing::Values(JoinOrderPolicy::kRdfoxLike,
+                                           JoinOrderPolicy::kVirtuosoLike,
+                                           JoinOrderPolicy::kAsWritten));
+
+TEST(EngineFig5Test, QueryX3MatchesFig5) {
+  // Fig. 5: database (a) admits the matches (b) — with the optional
+  // b-triple bound — and (c) — cross-product style with v3/v4 from the
+  // second conjunct and no b-edge (non-well-designed behaviour).
+  graph::GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("1", "a", "2").ok());
+  EXPECT_TRUE(b.AddTriple("2", "a", "3").ok());
+  EXPECT_TRUE(b.AddTriple("4", "b", "2").ok());
+  EXPECT_TRUE(b.AddTriple("4", "c", "5").ok());
+  EXPECT_TRUE(b.AddTriple("5", "d", "3").ok());
+  EXPECT_TRUE(b.AddTriple("6", "d", "5").ok());
+  graph::GraphDatabase db = std::move(b).Build();
+
+  Evaluator eval(&db);
+  SolutionSet rows = eval.Evaluate(Q(
+      "SELECT * WHERE { ?v1 <a> ?v2 . OPTIONAL { ?v3 <b> ?v2 . } "
+      "?v3 <c> ?v4 . }"));
+  auto result = Materialize(rows, db);
+
+  std::set<std::set<std::pair<std::string, std::string>>> expected = {
+      // Fig. 5(b): v1=1, v2=2, v3=4, v4=5 (optional b-edge bound).
+      {{"v1", "1"}, {"v2", "2"}, {"v3", "4"}, {"v4", "5"}},
+      // Fig. 5(c): v1=2, v2=3 with no b-edge; join still forces v3=4,v4=5.
+      {{"v1", "2"}, {"v2", "3"}, {"v3", "4"}, {"v4", "5"}},
+  };
+  EXPECT_EQ(result, expected);
+}
+
+TEST(EngineRequiredTriplesTest, MovieX1RequiresFourTriples) {
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  Evaluator eval(&db);
+  auto required = CollectRequiredTriples(
+      Q("SELECT * WHERE { ?director <directed> ?movie . "
+        "?director <worked_with> ?coworker . }"),
+      db, eval);
+  // Two matches x two triple patterns.
+  EXPECT_EQ(required.size(), 4u);
+}
+
+TEST(EngineRequiredTriplesTest, OptionalTriplesCountOnlyWhenBound) {
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  Evaluator eval(&db);
+  auto required = CollectRequiredTriples(
+      Q("SELECT * WHERE { ?director <directed> ?movie . "
+        "OPTIONAL { ?director <worked_with> ?coworker . } }"),
+      db, eval);
+  // Four directed triples + two worked_with triples actually witnessed.
+  EXPECT_EQ(required.size(), 6u);
+}
+
+TEST(EngineStatsTest, IntermediateRowsTracked) {
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  Evaluator eval(&db);
+  EvalStats stats;
+  eval.Evaluate(Q("SELECT * WHERE { ?d <directed> ?m . ?m <genre> ?g . }"),
+                &stats);
+  EXPECT_GT(stats.intermediate_rows, 0u);
+  EXPECT_GE(stats.seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace sparqlsim::engine

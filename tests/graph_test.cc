@@ -1,0 +1,202 @@
+#include "graph/graph_database.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/dictionary.h"
+#include "graph/graph.h"
+#include "graph/ntriples.h"
+
+namespace sparqlsim::graph {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Name(a), "alpha");
+  EXPECT_EQ(d.Lookup("beta"), b);
+  EXPECT_FALSE(d.Lookup("gamma").has_value());
+}
+
+TEST(DictionaryTest, DenseFirstSeenIds) {
+  Dictionary d;
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(d.Intern("n" + std::to_string(i)), i);
+  }
+}
+
+TEST(GraphTest, EdgesAndLabels) {
+  Graph g(3);
+  g.AddEdge(0, 2, 1);
+  g.AddEdge(1, 0, 2);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.LabelUpperBound(), 3u);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g(4);
+  g.AddEdge(0, 0, 1);
+  EXPECT_FALSE(g.IsConnected());  // 2, 3 unreachable
+  g.AddEdge(2, 0, 1);
+  g.AddEdge(3, 0, 2);
+  EXPECT_TRUE(g.IsConnected());  // undirected sense
+}
+
+TEST(GraphDatabaseTest, BuildAndStats) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("x", "p", "y").ok());
+  ASSERT_TRUE(b.AddTriple("x", "p", "z").ok());
+  ASSERT_TRUE(b.AddTriple("y", "q", "z").ok());
+  GraphDatabase db = std::move(b).Build();
+
+  EXPECT_EQ(db.NumNodes(), 3u);
+  EXPECT_EQ(db.NumPredicates(), 2u);
+  EXPECT_EQ(db.NumTriples(), 3u);
+
+  uint32_t p = *db.predicates().Lookup("p");
+  EXPECT_EQ(db.PredicateCardinality(p), 2u);
+  EXPECT_EQ(db.DistinctSubjects(p), 1u);
+  EXPECT_EQ(db.DistinctObjects(p), 2u);
+
+  uint32_t x = *db.nodes().Lookup("x");
+  EXPECT_TRUE(db.ForwardSummary(p).Test(x));
+  EXPECT_FALSE(db.BackwardSummary(p).Test(x));
+}
+
+TEST(GraphDatabaseTest, ForwardBackwardAreTransposes) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(b.AddTriple("c", "p", "b").ok());
+  GraphDatabase db = std::move(b).Build();
+  uint32_t p = *db.predicates().Lookup("p");
+  for (size_t s = 0; s < db.NumNodes(); ++s) {
+    for (size_t o = 0; o < db.NumNodes(); ++o) {
+      EXPECT_EQ(db.Forward(p).Test(s, o), db.Backward(p).Test(o, s));
+    }
+  }
+}
+
+TEST(GraphDatabaseTest, LiteralSubjectRejected) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTripleLiteral("city", "population", "70063").ok());
+  uint32_t lit = b.InternLiteral("70063");
+  uint32_t p = b.InternPredicate("population");
+  uint32_t o = b.InternNode("city");
+  util::Status status = b.AddTripleIds(lit, p, o);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("literal"), std::string::npos);
+}
+
+TEST(GraphDatabaseTest, DuplicateTriplesMerge) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(b.AddTriple("a", "p", "b").ok());
+  GraphDatabase db = std::move(b).Build();
+  EXPECT_EQ(db.NumTriples(), 1u);
+}
+
+TEST(GraphDatabaseTest, ForEachTripleRoundTrip) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(b.AddTriple("b", "q", "c").ok());
+  ASSERT_TRUE(b.AddTriple("c", "p", "a").ok());
+  GraphDatabase db = std::move(b).Build();
+  std::vector<Triple> all = db.AllTriples();
+  EXPECT_EQ(all.size(), 3u);
+  for (const Triple& t : all) {
+    EXPECT_TRUE(db.Forward(t.predicate).Test(t.subject, t.object));
+  }
+}
+
+TEST(GraphDatabaseTest, RestrictSharesDictionaries) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("a", "p", "b").ok());
+  ASSERT_TRUE(b.AddTriple("b", "q", "c").ok());
+  GraphDatabase db = std::move(b).Build();
+
+  std::vector<Triple> kept = {
+      {*db.nodes().Lookup("a"), *db.predicates().Lookup("p"),
+       *db.nodes().Lookup("b")}};
+  GraphDatabase pruned = db.Restrict(kept);
+  EXPECT_EQ(pruned.NumTriples(), 1u);
+  EXPECT_EQ(pruned.NumNodes(), db.NumNodes());  // same universe
+  EXPECT_EQ(*pruned.nodes().Lookup("a"), *db.nodes().Lookup("a"));
+  uint32_t q = *pruned.predicates().Lookup("q");
+  EXPECT_EQ(pruned.PredicateCardinality(q), 0u);
+}
+
+TEST(GraphDatabaseTest, MemoryReports) {
+  GraphDatabaseBuilder b;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        b.AddTriple("s" + std::to_string(i % 10), "p",
+                    "o" + std::to_string(i))
+            .ok());
+  }
+  GraphDatabase db = std::move(b).Build();
+  EXPECT_GT(db.ApproxMatrixBytes(), 0u);
+  EXPECT_GT(db.GapEncodedMatrixBytes(), 0u);
+}
+
+TEST(NTriplesTest, ParseBasicLines) {
+  std::istringstream in(
+      "<a> <p> <b> .\n"
+      "# comment\n"
+      "\n"
+      "<b> <pop> \"1234\" .\n"
+      "<c> <label> \"hello \\\"world\\\"\" .\n");
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(NTriples::Load(in, &b).ok());
+  GraphDatabase db = std::move(b).Build();
+  EXPECT_EQ(db.NumTriples(), 3u);
+  EXPECT_TRUE(db.nodes().Lookup("hello \"world\"").has_value());
+  EXPECT_TRUE(db.IsLiteral(*db.nodes().Lookup("1234")));
+}
+
+TEST(NTriplesTest, ParseErrorsDiagnoseLine) {
+  std::istringstream in("<a> <p> <b> .\nbroken line\n");
+  GraphDatabaseBuilder b;
+  util::Status status = NTriples::Load(in, &b);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST(NTriplesTest, MissingDotRejected) {
+  std::istringstream in("<a> <p> <b>\n");
+  GraphDatabaseBuilder b;
+  EXPECT_FALSE(NTriples::Load(in, &b).ok());
+}
+
+TEST(NTriplesTest, WriteReadRoundTrip) {
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("s", "p", "o").ok());
+  ASSERT_TRUE(b.AddTripleLiteral("s", "pop", "12\"34").ok());
+  GraphDatabase db = std::move(b).Build();
+
+  std::ostringstream out;
+  NTriples::Write(db, out);
+  std::istringstream in(out.str());
+  GraphDatabaseBuilder b2;
+  ASSERT_TRUE(NTriples::Load(in, &b2).ok());
+  GraphDatabase db2 = std::move(b2).Build();
+  EXPECT_EQ(db2.NumTriples(), db.NumTriples());
+  EXPECT_TRUE(db2.IsLiteral(*db2.nodes().Lookup("12\"34")));
+}
+
+TEST(NTriplesTest, DatatypeSuffixSkipped) {
+  std::istringstream in("<a> <p> \"42\"^^<xsd:integer> .\n");
+  GraphDatabaseBuilder b;
+  ASSERT_TRUE(NTriples::Load(in, &b).ok());
+  GraphDatabase db = std::move(b).Build();
+  EXPECT_TRUE(db.nodes().Lookup("42").has_value());
+}
+
+}  // namespace
+}  // namespace sparqlsim::graph

@@ -1,0 +1,117 @@
+#include "sparql/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "engine/evaluator.h"
+#include "sparql/parser.h"
+#include "sparql/printer.h"
+
+namespace sparqlsim::sparql {
+namespace {
+
+std::unique_ptr<Pattern> P(const char* text) {
+  auto r = Parser::ParsePattern(text);
+  EXPECT_TRUE(r.ok()) << r.error_message();
+  return std::move(r).value();
+}
+
+TEST(NormalizeTest, BgpIsItsOwnNormalForm) {
+  auto branches = UnionNormalForm(*P("{ ?x <p> ?y . }"));
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_TRUE(branches[0]->IsBgp());
+}
+
+TEST(NormalizeTest, TopLevelUnionSplits) {
+  auto branches =
+      UnionNormalForm(*P("{ { ?x <p> ?y . } UNION { ?x <q> ?y . } }"));
+  EXPECT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) EXPECT_TRUE(b->IsUnionFree());
+}
+
+TEST(NormalizeTest, JoinDistributesOverUnion) {
+  // (A UNION B) AND (C UNION D) -> 4 branches (DNF style, Prop. 3).
+  auto branches = UnionNormalForm(*P(
+      "{ { { ?x <p> ?y . } UNION { ?x <q> ?y . } } "
+      "{ { ?y <r> ?z . } UNION { ?y <s> ?z . } } }"));
+  EXPECT_EQ(branches.size(), 4u);
+  for (const auto& b : branches) EXPECT_TRUE(b->IsUnionFree());
+}
+
+TEST(NormalizeTest, UnionUnderOptionalSplits) {
+  auto branches = UnionNormalForm(
+      *P("{ ?x <p> ?y . OPTIONAL { { ?y <q> ?z . } UNION { ?y <r> ?z . } } "
+         "}"));
+  EXPECT_EQ(branches.size(), 2u);
+  for (const auto& b : branches) {
+    EXPECT_TRUE(b->IsUnionFree());
+    EXPECT_EQ(b->kind(), PatternKind::kOptional);
+  }
+}
+
+TEST(NormalizeTest, NestedUnionsFlatten) {
+  auto branches = UnionNormalForm(*P(
+      "{ { ?x <p> ?y . } UNION { ?x <q> ?y . } UNION { ?x <r> ?y . } }"));
+  EXPECT_EQ(branches.size(), 3u);
+}
+
+TEST(NormalizeTest, UnionFreeBranchesCoverOriginalResults) {
+  // Exactness on the Join/Union fragment: the union of branch results
+  // equals the original result set.
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  engine::Evaluator eval(&db);
+
+  auto pattern = P(
+      "{ ?d <directed> ?m . { { ?m <awarded> ?a . } UNION "
+      "{ ?m <genre> ?a . } } }");
+  engine::SolutionSet original = eval.EvaluatePattern(*pattern);
+
+  size_t total = 0;
+  for (const auto& branch : UnionNormalForm(*pattern)) {
+    total += eval.EvaluatePattern(*branch).NumRows();
+  }
+  EXPECT_EQ(total, original.NumRows());
+}
+
+TEST(MergeBgpsTest, JoinOfBgpsCollapses) {
+  auto merged = MergeBgps(P("{ { ?x <p> ?y . } { ?y <q> ?z . } }"));
+  ASSERT_TRUE(merged->IsBgp());
+  EXPECT_EQ(merged->triples().size(), 2u);
+}
+
+TEST(MergeBgpsTest, KeepsOptionalStructure) {
+  auto merged = MergeBgps(
+      P("{ ?x <p> ?y . OPTIONAL { { ?y <q> ?z . } { ?z <r> ?w . } } }"));
+  ASSERT_EQ(merged->kind(), PatternKind::kOptional);
+  EXPECT_TRUE(merged->right().IsBgp());
+  EXPECT_EQ(merged->right().triples().size(), 2u);
+}
+
+TEST(MergeBgpsTest, DeepNesting) {
+  auto merged = MergeBgps(
+      P("{ { { ?a <p> ?b . } { ?b <q> ?c . } } { ?c <r> ?d . } }"));
+  ASSERT_TRUE(merged->IsBgp());
+  EXPECT_EQ(merged->triples().size(), 3u);
+}
+
+TEST(MandatoryVarsTest, PaperDefinition) {
+  // Sect. 4.3: mand(Q1 OPTIONAL Q2) = mand(Q1).
+  auto p = P("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  EXPECT_EQ(p->MandatoryVars(), (std::set<std::string>{"a", "b"}));
+  EXPECT_EQ(p->Vars(), (std::set<std::string>{"a", "b", "c"}));
+
+  // mand(UNION) = intersection of branch mands.
+  auto u = P("{ { ?a <p> ?b . } UNION { ?a <q> ?c . } }");
+  EXPECT_EQ(u->MandatoryVars(), (std::set<std::string>{"a"}));
+}
+
+TEST(CloneTest, DeepCopyIsIndependent) {
+  auto p = P("{ ?a <p> ?b . OPTIONAL { ?b <q> ?c . } }");
+  auto clone = p->Clone();
+  EXPECT_EQ(ToString(*p), ToString(*clone));
+  EXPECT_NE(p.get(), clone.get());
+  EXPECT_EQ(clone->NumTriples(), 2u);
+}
+
+}  // namespace
+}  // namespace sparqlsim::sparql

@@ -1,0 +1,144 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "datagen/random_graphs.h"
+#include "sim/dual_simulation.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+graph::GraphDatabase ChainWithBranch() {
+  // x -a-> y -a-> z, plus w -a-> y.
+  graph::GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("x", "a", "y").ok());
+  EXPECT_TRUE(b.AddTriple("y", "a", "z").ok());
+  EXPECT_TRUE(b.AddTriple("w", "a", "y").ok());
+  return std::move(b).Build();
+}
+
+TEST(SimulationTest, ForwardIgnoresIncomingEdges) {
+  graph::GraphDatabase db = ChainWithBranch();
+  uint32_t a = *db.predicates().Lookup("a");
+  graph::Graph edge(2);  // v0 -a-> v1
+  edge.AddEdge(0, a, 1);
+
+  Solution forward = LargestSimulation(edge, db, SimulationKind::kForward);
+  // v0 candidates: nodes with an a-successor = {x, y, w}.
+  auto id = [&](const char* n) { return *db.nodes().Lookup(n); };
+  EXPECT_TRUE(forward.candidates[0].Test(id("x")));
+  EXPECT_TRUE(forward.candidates[0].Test(id("y")));
+  EXPECT_TRUE(forward.candidates[0].Test(id("w")));
+  EXPECT_FALSE(forward.candidates[0].Test(id("z")));
+  // v1 is unconstrained under forward simulation (no outgoing pattern
+  // edges from v1): all nodes survive.
+  EXPECT_EQ(forward.candidates[1].Count(), db.NumNodes());
+}
+
+TEST(SimulationTest, BackwardIgnoresOutgoingEdges) {
+  graph::GraphDatabase db = ChainWithBranch();
+  uint32_t a = *db.predicates().Lookup("a");
+  graph::Graph edge(2);
+  edge.AddEdge(0, a, 1);
+
+  Solution backward = LargestSimulation(edge, db, SimulationKind::kBackward);
+  auto id = [&](const char* n) { return *db.nodes().Lookup(n); };
+  // v1 candidates: nodes with an a-predecessor = {y, z}.
+  EXPECT_TRUE(backward.candidates[1].Test(id("y")));
+  EXPECT_TRUE(backward.candidates[1].Test(id("z")));
+  EXPECT_FALSE(backward.candidates[1].Test(id("x")));
+  // v0 unconstrained.
+  EXPECT_EQ(backward.candidates[0].Count(), db.NumNodes());
+}
+
+TEST(SimulationTest, DualIsIntersectionOrSmaller) {
+  // Dual simulation refines both one-directional simulations: every dual
+  // candidate is both a forward and a backward candidate (the converse
+  // fails in general).
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 40;
+  config.num_edges = 150;
+  config.num_labels = 2;
+  config.seed = 15;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(4, 2, 2, 16);
+
+  Solution dual = LargestSimulation(pattern, db, SimulationKind::kDual);
+  Solution fwd = LargestSimulation(pattern, db, SimulationKind::kForward);
+  Solution bwd = LargestSimulation(pattern, db, SimulationKind::kBackward);
+  for (size_t v = 0; v < pattern.NumNodes(); ++v) {
+    EXPECT_TRUE(dual.candidates[v].IsSubsetOf(fwd.candidates[v]));
+    EXPECT_TRUE(dual.candidates[v].IsSubsetOf(bwd.candidates[v]));
+  }
+}
+
+TEST(SimulationTest, DualKindMatchesLargestDualSimulation) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 30;
+  config.num_edges = 100;
+  config.num_labels = 3;
+  config.seed = 25;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(3, 2, 3, 26);
+
+  Solution via_kind = LargestSimulation(pattern, db, SimulationKind::kDual);
+  Solution direct = LargestDualSimulation(pattern, db);
+  for (size_t v = 0; v < pattern.NumNodes(); ++v) {
+    EXPECT_EQ(via_kind.candidates[v], direct.candidates[v]);
+  }
+}
+
+TEST(SimulationTest, ForwardSimulationOracle) {
+  // Direct fixpoint re-check of the forward-simulation definition on a
+  // random instance.
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 25;
+  config.num_edges = 80;
+  config.num_labels = 2;
+  config.seed = 35;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(3, 1, 2, 36);
+
+  Solution s = LargestSimulation(pattern, db, SimulationKind::kForward);
+  // Validity: every candidate of every pattern node satisfies Def. 2(i).
+  for (const graph::LabeledEdge& e : pattern.edges()) {
+    s.candidates[e.from].ForEachSetBit([&](uint32_t x) {
+      EXPECT_TRUE(db.Forward(e.label).RowIntersects(x, s.candidates[e.to]));
+    });
+  }
+  // Maximality: adding any dropped node violates Def. 2(i) somewhere.
+  for (uint32_t v = 0; v < pattern.NumNodes(); ++v) {
+    for (uint32_t node = 0; node < db.NumNodes(); ++node) {
+      if (s.candidates[v].Test(node)) continue;
+      bool violates = false;
+      for (const graph::LabeledEdge& e : pattern.edges()) {
+        if (e.from == v &&
+            !db.Forward(e.label).RowIntersects(node, s.candidates[e.to])) {
+          violates = true;
+        }
+      }
+      EXPECT_TRUE(violates) << "node " << node << " wrongly dropped from "
+                            << v;
+    }
+  }
+}
+
+TEST(SimulationTest, MovieForwardSimulationOfX1) {
+  // Forward simulation of the (X1) pattern keeps T. Young out (no
+  // outgoing worked_with) but is blind to incoming requirements.
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  graph::Graph x1(3);
+  x1.AddEdge(0, *db.predicates().Lookup("directed"), 1);
+  x1.AddEdge(0, *db.predicates().Lookup("worked_with"), 2);
+  Solution forward = LargestSimulation(x1, db, SimulationKind::kForward);
+  auto id = [&](const char* n) { return *db.nodes().Lookup(n); };
+  EXPECT_TRUE(forward.candidates[0].Test(id("B. De Palma")));
+  EXPECT_TRUE(forward.candidates[0].Test(id("G. Hamilton")));
+  EXPECT_FALSE(forward.candidates[0].Test(id("T. Young")));
+  // The movie position is unconstrained forward — even literals survive.
+  EXPECT_EQ(forward.candidates[1].Count(), db.NumNodes());
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

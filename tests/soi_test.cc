@@ -1,0 +1,253 @@
+#include "sim/soi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph_database.h"
+#include "sim/solver.h"
+#include "sparql/normalize.h"
+#include "sparql/parser.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+using sparql::Parser;
+
+graph::GraphDatabase MakeSmallDb() {
+  graph::GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("s1", "a", "t1").ok());
+  EXPECT_TRUE(b.AddTriple("s1", "b", "t2").ok());
+  EXPECT_TRUE(b.AddTriple("s2", "c", "t3").ok());
+  EXPECT_TRUE(b.AddTriple("t1", "b", "t2").ok());
+  return std::move(b).Build();
+}
+
+const Soi BuildFromText(const char* pattern_text,
+                        const graph::GraphDatabase& db) {
+  auto p = Parser::ParsePattern(pattern_text);
+  EXPECT_TRUE(p.ok()) << p.error_message();
+  return BuildSoiFromPattern(*p.value(), db);
+}
+
+int VarIndex(const Soi& soi, const std::string& name) {
+  for (size_t i = 0; i < soi.var_names.size(); ++i) {
+    if (soi.var_names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t CountSub(const Soi& soi, const std::string& lower,
+                const std::string& upper) {
+  size_t count = 0;
+  for (const Soi::SubIneq& s : soi.sub_ineqs) {
+    if (soi.var_names[s.lhs] == lower && soi.var_names[s.rhs] == upper) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(SoiBuilderTest, BgpHasTwoInequalitiesPerEdge) {
+  // Fig. 3 of the paper: the SOI of a BGP contains, per pattern edge, one
+  // forward and one backward inequality (Eq. 11).
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ ?x <a> ?y . ?x <b> ?z . }", db);
+  EXPECT_EQ(soi.matrix_ineqs.size(), 4u);
+  EXPECT_TRUE(soi.sub_ineqs.empty());
+  EXPECT_EQ(soi.edges.size(), 2u);
+  EXPECT_EQ(soi.NumVars(), 3u);
+  // Forward/backward pairing.
+  size_t fwd = 0, bwd = 0;
+  for (const auto& m : soi.matrix_ineqs) (m.forward ? fwd : bwd)++;
+  EXPECT_EQ(fwd, 2u);
+  EXPECT_EQ(bwd, 2u);
+}
+
+TEST(SoiBuilderTest, SharedVariableUnifiedAcrossJoin) {
+  // Lemma 3: mandatory-mandatory occurrences become one SOI variable.
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ { ?x <a> ?y . } { ?y <b> ?z . } }", db);
+  EXPECT_EQ(soi.NumVars(), 3u);  // x, y, z — the two y occurrences unify
+  ASSERT_EQ(soi.query_var_groups.at("y").size(), 1u);
+  EXPECT_TRUE(soi.sub_ineqs.empty());
+}
+
+TEST(SoiBuilderTest, OptionalX2CreatesSurrogateAndSubordination) {
+  // (X2): the optional occurrence of ?director gets a fresh SOI variable
+  // subordinated to the mandatory one (Eq. 14).
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText(
+      "{ ?director <a> ?movie . OPTIONAL { ?director <b> ?coworker . } }",
+      db);
+  // Variables: director, movie, director@2 (surrogate), coworker.
+  EXPECT_EQ(soi.NumVars(), 4u);
+  ASSERT_EQ(soi.sub_ineqs.size(), 1u);
+  EXPECT_EQ(CountSub(soi, "director@2", "director"), 1u);
+  // The anchor carries the query variable's result.
+  ASSERT_EQ(soi.query_var_groups.at("director").size(), 1u);
+  EXPECT_EQ(soi.var_names[soi.query_var_groups.at("director")[0]],
+            "director");
+}
+
+TEST(SoiBuilderTest, QueryX3NonWellDesignedHandled) {
+  // (X3): the first occurrence of ?v3 is optional, the second mandatory;
+  // the optional occurrence is renamed and subordinated (Sect. 4.4).
+  graph::GraphDatabase db = MakeSmallDb();
+  auto q = Parser::Parse(
+      "SELECT * WHERE { ?v1 <a> ?v2 . OPTIONAL { ?v3 <b> ?v2 . } "
+      "?v3 <c> ?v4 . }");
+  ASSERT_TRUE(q.ok()) << q.error_message();
+  Soi soi = BuildSoiFromPattern(*q.value().where, db);
+
+  // v2's optional occurrence subordinated to its mandatory anchor, and
+  // v3's optional occurrence subordinated to the mandatory occurrence in
+  // the third triple.
+  EXPECT_EQ(soi.sub_ineqs.size(), 2u);
+  EXPECT_EQ(CountSub(soi, "v2@2", "v2"), 1u);
+  EXPECT_EQ(CountSub(soi, "v3@2", "v3"), 1u);
+  // The groups map exposes the anchors.
+  EXPECT_EQ(soi.var_names[soi.query_var_groups.at("v3")[0]], "v3");
+}
+
+TEST(SoiBuilderTest, NestedOptionalChainR) {
+  // R = R1 OPTIONAL (R2 OPTIONAL R3) with z in all three: chain
+  // z_R3 <= z_R2 <= z (Sect. 4.4).
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText(
+      "{ ?z <a> ?r1 . OPTIONAL { ?z <b> ?r2 . OPTIONAL { ?z <c> ?r3 . } } }",
+      db);
+  EXPECT_EQ(soi.sub_ineqs.size(), 2u);
+  EXPECT_EQ(CountSub(soi, "z@3", "z@2"), 1u);
+  EXPECT_EQ(CountSub(soi, "z@2", "z"), 1u);
+}
+
+TEST(SoiBuilderTest, SiblingOptionalChainP) {
+  // P = (P1 OPTIONAL P2) OPTIONAL P3 with y in all three: both optional
+  // occurrences subordinate directly to the mandatory one (Sect. 4.4).
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText(
+      "{ ?y <a> ?p1 . OPTIONAL { ?y <b> ?p2 . } OPTIONAL { ?y <c> ?p3 . } }",
+      db);
+  EXPECT_EQ(soi.sub_ineqs.size(), 2u);
+  EXPECT_EQ(CountSub(soi, "y@2", "y"), 1u);
+  EXPECT_EQ(CountSub(soi, "y@3", "y"), 1u);
+}
+
+TEST(SoiBuilderTest, IncomparableOptionalBranchesStayIndependent) {
+  // x occurs in two optional branches but nowhere mandatory: the paper
+  // renames both (x_P2, x_P3) with no interdependency.
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText(
+      "{ ?p1 <a> ?q . OPTIONAL { ?x <b> ?p1 . } OPTIONAL { ?x <c> ?p1 . } }",
+      db);
+  // ?p1 has a mandatory anchor, so its two optional occurrences are
+  // subordinated — but the two ?x groups stay unrelated to each other.
+  EXPECT_EQ(CountSub(soi, "p1@2", "p1"), 1u);
+  EXPECT_EQ(CountSub(soi, "p1@3", "p1"), 1u);
+  EXPECT_EQ(soi.sub_ineqs.size(), 2u);
+  for (const Soi::SubIneq& s : soi.sub_ineqs) {
+    EXPECT_EQ(soi.var_names[s.lhs].substr(0, 2), "p1");
+  }
+  // Two independent groups for x.
+  EXPECT_EQ(soi.query_var_groups.at("x").size(), 2u);
+}
+
+TEST(SoiBuilderTest, ConstantsArePinned) {
+  // Sect. 4.5: constants alter the initialization inequality (12).
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ <s1> <a> ?y . }", db);
+  int cvar = VarIndex(soi, "<s1>");
+  ASSERT_GE(cvar, 0);
+  ASSERT_TRUE(soi.constants[cvar].has_value());
+  EXPECT_EQ(*soi.constants[cvar], *db.nodes().Lookup("s1"));
+}
+
+TEST(SoiBuilderTest, UnknownConstantIsUnsatisfiable) {
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ <nope> <a> ?y . }", db);
+  int cvar = VarIndex(soi, "<nope>");
+  ASSERT_GE(cvar, 0);
+  EXPECT_TRUE(soi.unsatisfiable_vars[cvar]);
+  Solution s = SolveSoi(soi, db);
+  EXPECT_FALSE(s.AnyCandidate());
+}
+
+TEST(SoiBuilderTest, UnknownPredicateBecomesEmptyMatrix) {
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ ?x <no_such_predicate> ?y . }", db);
+  ASSERT_EQ(soi.edges.size(), 1u);
+  EXPECT_EQ(soi.edges[0].predicate, kEmptyPredicate);
+  Solution s = SolveSoi(soi, db);
+  EXPECT_FALSE(s.AnyCandidate());
+}
+
+TEST(SoiBuilderTest, UnknownPredicateInOptionalDoesNotKillMandatory) {
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText(
+      "{ ?x <a> ?y . OPTIONAL { ?x <no_such_predicate> ?z . } }", db);
+  Solution s = SolveSoi(soi, db);
+  // Mandatory part still matches s1 -> t1.
+  int x = VarIndex(soi, "x");
+  ASSERT_GE(x, 0);
+  EXPECT_TRUE(s.candidates[x].Test(*db.nodes().Lookup("s1")));
+  // Optional surrogate and z are empty.
+  int z = VarIndex(soi, "z");
+  ASSERT_GE(z, 0);
+  EXPECT_TRUE(s.candidates[z].None());
+}
+
+TEST(SoiBuilderTest, LiteralConstantsResolve) {
+  graph::GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTripleLiteral("city", "population", "70063").ok());
+  graph::GraphDatabase db = std::move(b).Build();
+  Soi soi = BuildFromText("{ ?c <population> \"70063\" . }", db);
+  Solution s = SolveSoi(soi, db);
+  int c = VarIndex(soi, "c");
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(s.candidates[c].Count(), 1u);
+  EXPECT_TRUE(s.candidates[c].Test(*db.nodes().Lookup("city")));
+}
+
+TEST(SoiBuilderTest, ToStringRendersInequalities) {
+  graph::GraphDatabase db = MakeSmallDb();
+  Soi soi = BuildFromText("{ ?x <a> ?y . }", db);
+  std::string rendered = soi.ToString(db);
+  EXPECT_NE(rendered.find("y <= x x F_a"), std::string::npos);
+  EXPECT_NE(rendered.find("x <= y x B_a"), std::string::npos);
+}
+
+TEST(SoiBuilderTest, GraphPatternBuilder) {
+  graph::GraphDatabase db = MakeSmallDb();
+  graph::Graph pattern(2);
+  pattern.AddEdge(0, *db.predicates().Lookup("a"), 1);
+  Soi soi = BuildSoiFromGraph(pattern);
+  EXPECT_EQ(soi.NumVars(), 2u);
+  EXPECT_EQ(soi.matrix_ineqs.size(), 2u);
+  Solution s = SolveSoi(soi, db);
+  EXPECT_TRUE(s.candidates[0].Test(*db.nodes().Lookup("s1")));
+}
+
+TEST(SoiBuilderTest, SummaryInitEquals13) {
+  // With Eq. (13) init, an acyclic 2-chain solves without any update.
+  graph::GraphDatabaseBuilder b;
+  EXPECT_TRUE(b.AddTriple("x", "a", "y").ok());
+  EXPECT_TRUE(b.AddTriple("y", "b", "z").ok());
+  graph::GraphDatabase db = std::move(b).Build();
+  Soi soi = BuildFromText("{ ?u <a> ?v . ?v <b> ?w . }", db);
+
+  SolverOptions with13;
+  with13.summary_init = true;
+  Solution s13 = SolveSoi(soi, db, with13);
+  SolverOptions with12;
+  with12.summary_init = false;
+  Solution s12 = SolveSoi(soi, db, with12);
+  for (size_t v = 0; v < soi.NumVars(); ++v) {
+    EXPECT_EQ(s13.candidates[v], s12.candidates[v]);
+  }
+  // Eq. 13 starts closer to the fixpoint.
+  EXPECT_LE(s13.stats.updates, s12.stats.updates);
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

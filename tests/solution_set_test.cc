@@ -1,0 +1,78 @@
+#include "engine/solution_set.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+
+namespace sparqlsim::engine {
+namespace {
+
+TEST(SolutionSetTest, SchemaAndRows) {
+  SolutionSet s({"a", "b"});
+  EXPECT_EQ(s.Arity(), 2u);
+  EXPECT_EQ(s.NumRows(), 0u);
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("b"), 1);
+  EXPECT_EQ(s.IndexOf("c"), -1);
+
+  std::vector<uint32_t> row = {1, 2};
+  s.AddRow(row);
+  EXPECT_EQ(s.NumRows(), 1u);
+  EXPECT_EQ(s.Row(0)[0], 1u);
+  EXPECT_EQ(s.Value(0, s.IndexOf("b")), 2u);
+  EXPECT_EQ(s.Value(0, -1), kUnbound);
+}
+
+TEST(SolutionSetTest, UnboundRow) {
+  SolutionSet s({"x"});
+  s.AddUnboundRow();
+  EXPECT_EQ(s.Row(0)[0], kUnbound);
+}
+
+TEST(SolutionSetTest, ZeroArit017UnitSemantics) {
+  // A schema-less solution set counts unit rows (the empty mapping).
+  SolutionSet s{};
+  EXPECT_EQ(s.NumRows(), 0u);
+  s.AddUnboundRow();
+  s.AddUnboundRow();
+  EXPECT_EQ(s.NumRows(), 2u);
+  s.SortAndDedupe();
+  EXPECT_EQ(s.NumRows(), 1u);  // the empty mapping is unique
+}
+
+TEST(SolutionSetTest, SortAndDedupe) {
+  SolutionSet s({"a", "b"});
+  std::vector<std::vector<uint32_t>> rows = {
+      {3, 4}, {1, 2}, {3, 4}, {1, 1}, {1, 2}};
+  for (const auto& r : rows) s.AddRow(r);
+  s.SortAndDedupe();
+  ASSERT_EQ(s.NumRows(), 3u);
+  EXPECT_EQ(s.Row(0)[0], 1u);
+  EXPECT_EQ(s.Row(0)[1], 1u);
+  EXPECT_EQ(s.Row(1)[1], 2u);
+  EXPECT_EQ(s.Row(2)[0], 3u);
+}
+
+TEST(SolutionSetTest, ToStringShowsUnboundAsDashes) {
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  SolutionSet s({"d"});
+  std::vector<uint32_t> row = {kUnbound};
+  s.AddRow(row);
+  std::string rendered = s.ToString(db);
+  EXPECT_NE(rendered.find("?d"), std::string::npos);
+  EXPECT_NE(rendered.find("--"), std::string::npos);
+}
+
+TEST(SolutionSetTest, ToStringTruncates) {
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  SolutionSet s({"d"});
+  for (uint32_t i = 0; i < 30; ++i) {
+    std::vector<uint32_t> row = {0};
+    s.AddRow(row);
+  }
+  std::string rendered = s.ToString(db, 5);
+  EXPECT_NE(rendered.find("25 more rows"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sparqlsim::engine

@@ -1,0 +1,132 @@
+#include "sim/strong_simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/movies.h"
+#include "datagen/random_graphs.h"
+#include "sim/dual_simulation.h"
+#include "sim/soi.h"
+#include "sim/validate.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+TEST(PatternDiameterTest, Shapes) {
+  graph::Graph chain(4);
+  chain.AddEdge(0, 0, 1);
+  chain.AddEdge(1, 0, 2);
+  chain.AddEdge(2, 0, 3);
+  EXPECT_EQ(PatternDiameter(chain), 3u);
+
+  graph::Graph star(4);
+  star.AddEdge(0, 0, 1);
+  star.AddEdge(0, 0, 2);
+  star.AddEdge(0, 0, 3);
+  EXPECT_EQ(PatternDiameter(star), 2u);
+
+  graph::Graph single(1);
+  EXPECT_EQ(PatternDiameter(single), 0u);
+
+  // Direction is ignored: a 2-cycle has diameter 1.
+  graph::Graph cycle(2);
+  cycle.AddEdge(0, 0, 1);
+  cycle.AddEdge(1, 0, 0);
+  EXPECT_EQ(PatternDiameter(cycle), 1u);
+}
+
+TEST(StrongSimulationTest, MovieX1FindsTheTwoSubgraphs) {
+  // On Fig. 1(a) with the (X1) pattern, strong simulation separates the
+  // two bold subgraphs (they are farther than d_Q apart), while plain
+  // dual simulation merges them into one relation.
+  graph::GraphDatabase db = datagen::MakeMovieDatabase();
+  graph::Graph x1(3);  // 0=director, 1=movie, 2=coworker
+  x1.AddEdge(0, *db.predicates().Lookup("directed"), 1);
+  x1.AddEdge(0, *db.predicates().Lookup("worked_with"), 2);
+
+  StrongSimResult result = StrongSimulation(x1, db);
+  EXPECT_EQ(result.radius, 2u);
+  ASSERT_EQ(result.matches.size(), 2u);
+
+  auto id = [&](const char* name) { return *db.nodes().Lookup(name); };
+  // Each match contains exactly one director constellation.
+  for (const StrongMatch& m : result.matches) {
+    EXPECT_EQ(m.candidates[0].Count(), 1u);
+    EXPECT_EQ(m.candidates[1].Count(), 1u);
+    EXPECT_EQ(m.candidates[2].Count(), 1u);
+  }
+  bool found_depalma = false, found_hamilton = false;
+  for (const StrongMatch& m : result.matches) {
+    if (m.candidates[0].Test(id("B. De Palma"))) found_depalma = true;
+    if (m.candidates[0].Test(id("G. Hamilton"))) found_hamilton = true;
+  }
+  EXPECT_TRUE(found_depalma);
+  EXPECT_TRUE(found_hamilton);
+}
+
+TEST(StrongSimulationTest, EveryMatchIsADualSimulation) {
+  // Each per-ball relation must itself satisfy Def. 2 against the full
+  // database (a dual simulation inside an induced subgraph is one in the
+  // whole graph).
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 60;
+  config.num_edges = 200;
+  config.num_labels = 3;
+  config.seed = 21;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(3, 1, 3, 22);
+
+  StrongSimResult result = StrongSimulation(pattern, db);
+  for (const StrongMatch& m : result.matches) {
+    std::string why;
+    EXPECT_TRUE(IsDualSimulation(pattern, db, m.candidates, &why)) << why;
+  }
+}
+
+TEST(StrongSimulationTest, MatchesRefineGlobalDualSimulation) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 50;
+  config.num_edges = 150;
+  config.num_labels = 2;
+  config.seed = 31;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(3, 1, 2, 32);
+
+  Solution global = LargestDualSimulation(pattern, db);
+  StrongSimResult result = StrongSimulation(pattern, db);
+  for (const StrongMatch& m : result.matches) {
+    for (size_t v = 0; v < pattern.NumNodes(); ++v) {
+      EXPECT_TRUE(m.candidates[v].IsSubsetOf(global.candidates[v]));
+    }
+  }
+}
+
+TEST(StrongSimulationTest, EmptyWhenNoDualSimulation) {
+  graph::GraphDatabaseBuilder b;
+  ASSERT_TRUE(b.AddTriple("x", "e", "y").ok());
+  graph::GraphDatabase db = std::move(b).Build();
+  graph::Graph cycle(2);
+  cycle.AddEdge(0, *db.predicates().Lookup("e"), 1);
+  cycle.AddEdge(1, *db.predicates().Lookup("e"), 0);
+
+  StrongSimResult result = StrongSimulation(cycle, db);
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.balls_checked, 0u);  // global prefilter already empty
+}
+
+TEST(StrongSimulationTest, MaxMatchesCapsWork) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 80;
+  config.num_edges = 400;
+  config.num_labels = 1;
+  config.seed = 41;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+  graph::Graph pattern = datagen::MakeRandomPattern(2, 0, 1, 42);
+
+  StrongSimOptions options;
+  options.max_matches = 1;
+  StrongSimResult result = StrongSimulation(pattern, db, options);
+  EXPECT_LE(result.matches.size(), 1u);
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

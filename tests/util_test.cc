@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/gap_codec.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace sparqlsim::util {
+namespace {
+
+TEST(GapCodecTest, RoundTripSimple) {
+  BitVector v = BitVector::FromIndices(20, {0, 1, 2, 10, 19});
+  auto encoded = GapCodec::Encode(v);
+  EXPECT_EQ(GapCodec::Decode(encoded, 20), v);
+  EXPECT_EQ(GapCodec::EncodedSize(v), encoded.size());
+}
+
+TEST(GapCodecTest, EmptyAndFull) {
+  BitVector empty(100);
+  EXPECT_EQ(GapCodec::Decode(GapCodec::Encode(empty), 100), empty);
+  BitVector full(100, true);
+  EXPECT_EQ(GapCodec::Decode(GapCodec::Encode(full), 100), full);
+  // A full vector is one run: encoded size is tiny.
+  EXPECT_LE(GapCodec::EncodedSize(full), 3u);
+}
+
+TEST(GapCodecTest, LongRunsCompressWell) {
+  // One bit set in a million: two varint runs, a handful of bytes —
+  // the gap-length economics of Sect. 3.3.
+  BitVector v(1'000'000);
+  v.Set(999'999);
+  EXPECT_LE(GapCodec::EncodedSize(v), 8u);
+  EXPECT_EQ(GapCodec::Decode(GapCodec::Encode(v), 1'000'000), v);
+}
+
+TEST(GapCodecTest, RandomRoundTrips) {
+  Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 1 + rng.NextBounded(2000);
+    BitVector v(n);
+    double density = rng.NextDouble();
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(density)) v.Set(i);
+    }
+    EXPECT_EQ(GapCodec::Decode(GapCodec::Encode(v), n), v) << "n=" << n;
+  }
+}
+
+TEST(RngTest, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BoundedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    int64_t x = rng.NextInRange(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(10)]++;
+  for (int count : counts) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(ZipfTest, RankZeroMostLikely) {
+  Rng rng(13);
+  ZipfSampler zipf(50, 1.1);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(&rng)]++;
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+  // Heavy skew: top rank takes a significant share.
+  EXPECT_GT(counts[0], 50000 / 10);
+}
+
+TEST(StatusTest, OkAndError) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e = Status::Error("boom");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.message(), "boom");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::Error("nope"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error_message(), "nope");
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+  Stopwatch w;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  ASSERT_GT(sink, 0.0);
+  EXPECT_GE(w.ElapsedSeconds(), 0.0);
+  double first = w.ElapsedMillis();
+  EXPECT_LE(first, w.ElapsedMillis());  // monotone
+  w.Restart();
+  EXPECT_LT(w.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace sparqlsim::util

@@ -1,0 +1,71 @@
+// sparqlsim-datagen — dumps the built-in synthetic datasets as N-Triples,
+// so the sparqlsim CLI (and any other RDF tool) can consume them.
+//
+//   sparqlsim-datagen movies                > movies.nt
+//   sparqlsim-datagen lubm    <universities> [seed] > lubm.nt
+//   sparqlsim-datagen dbpedia <scale> [seed]        > dbpedia.nt
+//   sparqlsim-datagen queries                       # prints the workloads
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "datagen/dbpedia.h"
+#include "datagen/lubm.h"
+#include "datagen/movies.h"
+#include "datagen/queries.h"
+#include "graph/ntriples.h"
+
+namespace sparqlsim {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: sparqlsim-datagen movies | lubm <universities> [seed] "
+               "| dbpedia <scale> [seed] | queries\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  if (std::strcmp(argv[1], "movies") == 0) {
+    graph::NTriples::Write(datagen::MakeMovieDatabase(), std::cout);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "lubm") == 0) {
+    if (argc < 3) return Usage();
+    datagen::LubmConfig config;
+    config.num_universities = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+    graph::NTriples::Write(datagen::MakeLubmDatabase(config), std::cout);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "dbpedia") == 0) {
+    if (argc < 3) return Usage();
+    datagen::DbpediaConfig config;
+    config.scale = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3) config.seed = std::strtoull(argv[3], nullptr, 10);
+    graph::NTriples::Write(datagen::MakeDbpediaDatabase(config), std::cout);
+    return 0;
+  }
+  if (std::strcmp(argv[1], "queries") == 0) {
+    for (const auto& [id, text] : datagen::LubmQueries()) {
+      std::printf("# %s (LUBM-like)\n%s\n\n", id.c_str(), text.c_str());
+    }
+    for (const auto& [id, text] : datagen::DbpediaQueries()) {
+      std::printf("# %s (DBpedia-like)\n%s\n\n", id.c_str(), text.c_str());
+    }
+    for (const auto& [id, text] : datagen::BenchmarkQueries()) {
+      std::printf("# %s (DBpedia-like)\n%s\n\n", id.c_str(), text.c_str());
+    }
+    return 0;
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace sparqlsim
+
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }
