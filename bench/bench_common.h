@@ -1,3 +1,6 @@
+// Shared helpers for the table/figure reproduction benches: dataset
+// construction scaled by environment variables, query parsing, and the
+// BGP -> pattern-graph conversion the baseline algorithms consume.
 #pragma once
 
 #include <cstdio>

@@ -113,7 +113,7 @@ graph::GraphDatabase MakeLubmDatabase(const LubmConfig& config) {
         attr(prof, ids.phone_p, "555-" + std::to_string(rng.NextBounded(9999)));
         attr(prof, ids.interest_p,
              "Research" + std::to_string(rng.NextBounded(25)));
-        faculty.push_back({prof, {}});
+        faculty.push_back({prof, {}, {}});
       };
       size_t num_full = 6 + rng.NextBounded(4);
       size_t num_assoc = 8 + rng.NextBounded(4);

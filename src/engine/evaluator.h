@@ -24,6 +24,8 @@ enum class JoinOrderPolicy {
   kAsWritten,
 };
 
+/// Evaluation configuration: join ordering plus the pruned-evaluation
+/// switches the paper's experiments toggle.
 struct EvaluatorOptions {
   JoinOrderPolicy policy = JoinOrderPolicy::kRdfoxLike;
 
@@ -39,7 +41,10 @@ struct EvaluatorOptions {
 
 /// Counters for one evaluation.
 struct EvalStats {
+  /// Total rows materialized across all joins (the paper's proxy for
+  /// intermediate-result blowup in Tables 4/5).
   size_t intermediate_rows = 0;
+  /// Wall time of the evaluation.
   double seconds = 0.0;
 };
 

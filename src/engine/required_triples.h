@@ -21,6 +21,10 @@ namespace sparqlsim::engine {
 /// instantiated triple (checked to exist — patterns under OPTIONAL whose
 /// variables happen to be bound from the mandatory side do not count
 /// unless the data edge is real).
+///
+/// Cost caveat: this enumerates every solution of every branch exactly, so
+/// it is an analysis/report tool for test- and Table-3-scale inputs, not
+/// part of the query-time pruning path.
 std::vector<graph::Triple> CollectRequiredTriples(
     const sparql::Query& query, const graph::GraphDatabase& db,
     const Evaluator& evaluator);

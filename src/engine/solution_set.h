@@ -34,10 +34,12 @@ class SolutionSet {
   /// Schema position of `var`, or -1.
   int IndexOf(const std::string& var) const;
 
+  /// Row i as node ids in schema order (entries may be kUnbound).
   std::span<const uint32_t> Row(size_t i) const {
     return {data_.data() + i * vars_.size(), vars_.size()};
   }
 
+  /// Appends a row; `row` must have exactly Arity() entries.
   void AddRow(std::span<const uint32_t> row);
 
   /// Adds a row where every variable is unbound (or, for arity 0, the

@@ -27,6 +27,7 @@ class Dictionary {
   /// Returns the string for an id. The id must be valid.
   const std::string& Name(uint32_t id) const { return names_[id]; }
 
+  /// Number of interned strings (== one past the largest assigned id).
   size_t size() const { return names_.size(); }
 
  private:

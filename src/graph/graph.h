@@ -24,6 +24,7 @@ struct LabeledEdge {
 class Graph {
  public:
   Graph() = default;
+  /// Creates a graph with nodes 0..num_nodes-1 and no edges.
   explicit Graph(size_t num_nodes) : num_nodes_(num_nodes) {}
 
   /// Adds a node and returns its id.
@@ -34,6 +35,7 @@ class Graph {
 
   size_t NumNodes() const { return num_nodes_; }
   size_t NumEdges() const { return edges_.size(); }
+  /// All edges in insertion order.
   std::span<const LabeledEdge> edges() const { return edges_; }
 
   /// Largest label id used, plus one (0 for an edgeless graph).

@@ -29,6 +29,7 @@ class GraphDatabaseBuilder {
   uint32_t InternNode(std::string_view name);
   /// Interns a literal node (universe L); literals never gain out-edges.
   uint32_t InternLiteral(std::string_view value);
+  /// Interns a predicate (edge label in the alphabet Sigma).
   uint32_t InternPredicate(std::string_view name);
 
   /// Adds (s, p, o) where all three are IRI-like names.
@@ -40,6 +41,7 @@ class GraphDatabaseBuilder {
   /// Adds a triple over already-interned ids.
   util::Status AddTripleIds(uint32_t s, uint32_t p, uint32_t o);
 
+  /// Triples accepted so far, duplicates included (Build() dedupes).
   size_t NumTriplesAdded() const { return triples_.size(); }
 
   /// Freezes into a database. The builder is consumed.

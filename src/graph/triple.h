@@ -13,12 +13,17 @@ struct Triple {
   uint32_t object;
 
   friend bool operator==(const Triple&, const Triple&) = default;
+  /// Orders predicate-major to match the database's grouped-by-predicate
+  /// storage, so a sorted triple vector streams straight into the
+  /// per-predicate matrix builder (GraphDatabase::Restrict relies on this).
   friend auto operator<=>(const Triple& a, const Triple& b) {
     return std::tie(a.predicate, a.subject, a.object) <=>
            std::tie(b.predicate, b.subject, b.object);
   }
 };
 
+/// Hash functor for unordered containers of Triple (Fibonacci-style
+/// multiply-mix over the three components).
 struct TripleHash {
   size_t operator()(const Triple& t) const {
     uint64_t h = t.subject;

@@ -47,6 +47,7 @@ struct PruneReport {
 /// the surviving triples (the per-query database pruning of Sect. 5).
 class SparqlSimProcessor {
  public:
+  /// `db` is borrowed, not owned: it must outlive the processor.
   explicit SparqlSimProcessor(const graph::GraphDatabase* db) : db_(db) {}
 
   /// Full pipeline: query -> pruned triple set + candidates.

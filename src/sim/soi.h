@@ -67,6 +67,7 @@ struct Soi {
   /// occurrence groups). Surrogate-only helper vars are not listed.
   std::map<std::string, std::vector<uint32_t>> query_var_groups;
 
+  /// Number of SOI variables (candidate bit-vectors a solution carries).
   size_t NumVars() const { return var_names.size(); }
 
   /// Human-readable rendering in the style of Fig. 3 of the paper.

@@ -46,6 +46,7 @@ struct SolveStats {
   size_t col_evals = 0;
   double solve_seconds = 0.0;
 
+  /// Adds `other`'s counters and time into this (multi-branch aggregation).
   void Accumulate(const SolveStats& other);
 };
 

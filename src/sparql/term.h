@@ -15,6 +15,7 @@ class Term {
  public:
   enum class Kind { kVariable, kIri, kLiteral };
 
+  /// Factory constructors; text conventions as documented on the class.
   static Term Var(std::string name) {
     return Term(Kind::kVariable, std::move(name));
   }

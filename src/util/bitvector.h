@@ -93,7 +93,9 @@ class BitVector {
   /// Bit string like "10110", index 0 leftmost. Intended for tests/examples.
   std::string ToString() const;
 
-  /// Raw word access for word-parallel kernels.
+  /// Raw word access for word-parallel kernels. Writers through
+  /// mutable_words() must keep the tail invariant: bits at positions
+  /// >= size() in the last word stay zero.
   const uint64_t* words() const { return words_.data(); }
   uint64_t* mutable_words() { return words_.data(); }
 

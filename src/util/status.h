@@ -10,7 +10,9 @@ namespace sparqlsim::util {
 /// Lightweight success/error carrier (no exceptions on parse paths).
 class Status {
  public:
+  /// The success value; ok() is true and message() is empty.
   static Status Ok() { return Status(true, {}); }
+  /// An error with a human-readable message.
   static Status Error(std::string message) {
     return Status(false, std::move(message));
   }
@@ -26,6 +28,10 @@ class Status {
 };
 
 /// Either a value or an error status. Used by parsers and loaders.
+///
+/// Converts implicitly from both T and Status so `return value;` and
+/// `return Status::Error(...);` work symmetrically; constructing from an
+/// ok Status is a programming error (asserted).
 template <typename T>
 class Result {
  public:

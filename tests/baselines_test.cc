@@ -166,7 +166,9 @@ TEST(BaselineConstantsTest, ConstantsRestrictAllAlgorithms) {
   EXPECT_EQ(from_ma, oracle);
   EXPECT_EQ(from_hhk, oracle);
   for (const auto& [v, x] : from_soi) {
-    if (v == 0) EXPECT_EQ(x, 4u);
+    if (v == 0) {
+      EXPECT_EQ(x, 4u);
+    }
   }
 }
 

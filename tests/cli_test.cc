@@ -4,27 +4,14 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <sstream>
 #include <string>
+
+#include "cli_test_common.h"
 
 namespace {
 
-std::string RunCommand(const std::string& command, int* exit_code) {
-  std::string with_redirect = command + " 2>/dev/null";
-  FILE* pipe = popen(with_redirect.c_str(), "r");
-  EXPECT_NE(pipe, nullptr);
-  std::string output;
-  char buffer[4096];
-  while (size_t n = fread(buffer, 1, sizeof(buffer), pipe)) {
-    output.append(buffer, n);
-  }
-  int status = pclose(pipe);
-  *exit_code = WEXITSTATUS(status);
-  return output;
-}
+using sparqlsim_test::RunCommand;
 
 class CliTest : public ::testing::Test {
  protected:

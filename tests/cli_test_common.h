@@ -1,0 +1,34 @@
+// Shared subprocess helper for the CLI end-to-end suites.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace sparqlsim_test {
+
+/// Runs `command` through the shell with stderr silenced, returning its
+/// stdout. *exit_code receives the exit status, or -1 if the process could
+/// not be started or died on a signal.
+inline std::string RunCommand(const std::string& command, int* exit_code) {
+  std::string with_redirect = command + " 2>/dev/null";
+  FILE* pipe = popen(with_redirect.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  if (pipe == nullptr) {
+    *exit_code = -1;
+    return {};
+  }
+  std::string output;
+  char buffer[4096];
+  while (size_t n = fread(buffer, 1, sizeof(buffer), pipe)) {
+    output.append(buffer, n);
+  }
+  int status = pclose(pipe);
+  // A signal death (e.g. SIGSEGV in the CLI) must not read as exit 0.
+  *exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return output;
+}
+
+}  // namespace sparqlsim_test
