@@ -1,5 +1,6 @@
 #include "graph/graph_database.h"
 
+#include <atomic>
 #include <utility>
 
 #include "util/gap_codec.h"
@@ -74,6 +75,9 @@ GraphDatabase GraphDatabaseBuilder::Build() && {
 }
 
 void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
+  static std::atomic<uint64_t> next_generation{0};
+  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+
   size_t n = NumNodes();
   size_t num_predicates = NumPredicates();
 

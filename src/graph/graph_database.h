@@ -68,6 +68,14 @@ class GraphDatabase {
   size_t NumPredicates() const { return predicates_->size(); }
   size_t NumTriples() const { return num_triples_; }
 
+  /// Process-unique generation stamp, assigned whenever a database's
+  /// matrices are (re)built — Build(), Restrict(), binary load. Two
+  /// GraphDatabase values share a generation only if one is a copy of the
+  /// other (same immutable content), which makes the stamp a sound identity
+  /// key for caches holding per-database artifacts (sim::SoiCache):
+  /// different data can never alias a cached solution.
+  uint64_t generation() const { return generation_; }
+
   const Dictionary& nodes() const { return *nodes_; }
   const Dictionary& predicates() const { return *predicates_; }
 
@@ -135,6 +143,7 @@ class GraphDatabase {
   std::shared_ptr<const Dictionary> predicates_;
   std::shared_ptr<const std::vector<bool>> is_literal_;
   size_t num_triples_ = 0;
+  uint64_t generation_ = 0;
   std::vector<util::BitMatrix> forward_;
   std::vector<util::BitMatrix> backward_;
   std::vector<util::BitVector> forward_summary_;

@@ -1,69 +1,21 @@
 #include "sim/pruner.h"
 
-#include <algorithm>
-
 #include "sim/soi.h"
-#include "sparql/normalize.h"
-#include "util/stopwatch.h"
 
 namespace sparqlsim::sim {
 
 Solution SparqlSimProcessor::Solve(const sparql::Pattern& union_free_pattern,
                                    const SolverOptions& options) const {
+  // A transient single-branch solve can never hit a fresh cache; go
+  // straight to the solver so the Table 2 timing path stays pure solver
+  // (SolveSoi honors options.num_threads with a transient pool).
   Soi soi = BuildSoiFromPattern(union_free_pattern, *db_);
   return SolveSoi(soi, *db_, options);
 }
 
 PruneReport SparqlSimProcessor::Prune(const sparql::Query& query,
                                       const SolverOptions& options) const {
-  util::Stopwatch timer;
-  PruneReport report;
-  const size_t n = db_->NumNodes();
-
-  std::vector<std::unique_ptr<sparql::Pattern>> branches =
-      sparql::UnionNormalForm(*query.where);
-  report.num_branches = branches.size();
-
-  for (const auto& branch : branches) {
-    Soi soi = BuildSoiFromPattern(*branch, *db_);
-    Solution solution = SolveSoi(soi, *db_, options);
-    report.stats.Accumulate(solution.stats);
-
-    // Candidate sets per original query variable: union over occurrence
-    // groups; surrogates are subsumed by their anchors (Sect. 4.3), but
-    // unanchored optional groups each contribute.
-    for (const auto& [var, groups] : soi.query_var_groups) {
-      auto [it, inserted] =
-          report.var_candidates.try_emplace(var, util::BitVector(n));
-      for (uint32_t g : groups) it->second.OrWith(solution.candidates[g]);
-    }
-
-    // Triple extraction: a data triple survives iff some pattern edge
-    // (v, a, w) admits it with subject in chi(v) and object in chi(w).
-    for (const Soi::Edge& e : soi.edges) {
-      if (e.predicate == kEmptyPredicate) continue;
-      const util::BitVector& subjects = solution.candidates[e.subject_var];
-      const util::BitVector& objects = solution.candidates[e.object_var];
-      if (subjects.None() || objects.None()) continue;
-      const util::BitMatrix& fwd = db_->Forward(e.predicate);
-      // Iterate the sparser side of the row index.
-      subjects.ForEachSetBit([&](uint32_t s) {
-        for (uint32_t o : fwd.Row(s)) {
-          if (objects.Test(o)) {
-            report.kept_triples.push_back({s, e.predicate, o});
-          }
-        }
-      });
-    }
-  }
-
-  std::sort(report.kept_triples.begin(), report.kept_triples.end());
-  report.kept_triples.erase(
-      std::unique(report.kept_triples.begin(), report.kept_triples.end()),
-      report.kept_triples.end());
-
-  report.total_seconds = timer.ElapsedSeconds();
-  return report;
+  return SimEngine(db_, options).Prune(query);
 }
 
 }  // namespace sparqlsim::sim

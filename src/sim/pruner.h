@@ -1,50 +1,19 @@
 #pragma once
 
-#include <map>
-#include <string>
-#include <vector>
-
 #include "graph/graph_database.h"
-#include "graph/triple.h"
+#include "sim/sim_engine.h"
 #include "sim/solver.h"
 #include "sparql/ast.h"
-#include "util/bitvector.h"
 
 namespace sparqlsim::sim {
 
-/// Outcome of dual-simulation processing of a SPARQL query (Sect. 5):
-/// the pruned triple set plus per-variable candidate sets.
-struct PruneReport {
-  /// Triples surviving the prune, sorted and deduplicated.
-  ///
-  /// Soundness (Thm. 2 / Def. 3): no match is lost — every solution of the
-  /// query on the full database is also a solution on
-  /// GraphDatabase::Restrict(kept_triples). For the monotone fragment
-  /// (BGP, AND, UNION) the pruned result set is *equal* to the full one.
-  /// For OPTIONAL queries it may be a superset: OPTIONAL is non-monotone,
-  /// so dropping triples that no full match needs can turn a formerly
-  /// bound optional part unbound and unblock additional rows — the
-  /// "overapproximation of the actual SPARQL query results" the paper
-  /// describes in Sect. 1, intended for further inspection, filtering, or
-  /// exact re-evaluation.
-  std::vector<graph::Triple> kept_triples;
-
-  /// Per original query variable: union of the candidate sets of all its
-  /// SOI occurrence groups across all union-free branches.
-  std::map<std::string, util::BitVector> var_candidates;
-
-  /// Aggregated solver statistics over all union-free branches.
-  SolveStats stats;
-  /// Number of union-free branches processed (Prop. 3).
-  size_t num_branches = 0;
-  /// End-to-end wall time: SOI construction + solving + triple extraction.
-  double total_seconds = 0.0;
-};
-
 /// High-level dual simulation processor for SPARQL queries — the paper's
-/// SPARQLSIM. Splits the query into union-free branches (Prop. 3), builds
-/// and solves the SOI of each branch (Sect. 4), and extracts the union of
-/// the surviving triples (the per-query database pruning of Sect. 5).
+/// SPARQLSIM. This is a convenience facade over SimEngine for one-shot
+/// callers: each call constructs a transient engine from the given options,
+/// so pool threads and cache entries live only for that call (a multi-branch
+/// query still benefits from intra-call caching when the union normal form
+/// produces duplicate branches). Hold a SimEngine directly to amortize the
+/// pool and reuse SOIs/solutions across repeated queries.
 class SparqlSimProcessor {
  public:
   /// `db` is borrowed, not owned: it must outlive the processor.

@@ -1,0 +1,166 @@
+#include "sim/sim_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+#include <utility>
+
+#include "sparql/normalize.h"
+#include "util/stopwatch.h"
+
+namespace sparqlsim::sim {
+
+SimEngine::SimEngine(const graph::GraphDatabase* db, SolverOptions options,
+                     std::shared_ptr<SoiCache> cache)
+    : db_(db), options_(options), cache_(std::move(cache)) {
+  if (options_.ResolvedThreads() > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.ResolvedThreads());
+  }
+  if (cache_ == nullptr && (options_.cache_sois || options_.cache_solutions)) {
+    cache_ = std::make_shared<SoiCache>();
+  }
+}
+
+Solution SimEngine::Solve(const Soi& soi,
+                          const std::vector<util::BitVector>* initial) const {
+  return SolveSoi(soi, *db_, options_, initial, pool_.get());
+}
+
+SimEngine::BranchOutcome SimEngine::ProcessBranch(
+    const sparql::Pattern& branch, bool extract_triples) const {
+  BranchOutcome out;
+  const uint64_t generation = db_->generation();
+  const bool cache_sois = cache_ != nullptr && options_.cache_sois;
+  // The solution layer rides on the SOI layer: canonically-equal patterns
+  // may number their SOI variables differently (construction follows triple
+  // order, the key does not), so a cached Solution is only meaningful
+  // against the cached SOI instance it was solved on — never against a
+  // freshly built one. Truncated runs (max_rounds != 0) are not the
+  // canonical fixpoint and also bypass the layer.
+  const bool cache_solutions = cache_sois && options_.cache_solutions &&
+                               options_.max_rounds == 0;
+
+  std::string key;
+  if (cache_sois || cache_solutions) {
+    key = sparql::CanonicalPatternKey(branch);
+  }
+
+  if (cache_sois) {
+    out.soi = cache_->FindSoi(generation, key);
+    if (out.soi == nullptr) {
+      out.soi = cache_->InsertSoi(generation, key,
+                                  BuildSoiFromPattern(branch, *db_));
+    }
+  } else {
+    out.soi =
+        std::make_shared<const Soi>(BuildSoiFromPattern(branch, *db_));
+  }
+
+  if (cache_solutions) {
+    out.solution = cache_->FindSolution(generation, key);
+    out.solution_from_cache = out.solution != nullptr;
+  }
+  if (out.solution == nullptr) {
+    Solution solved = Solve(*out.soi);
+    if (cache_solutions) {
+      out.solution =
+          cache_->InsertSolution(generation, key, std::move(solved));
+    } else {
+      out.solution = std::make_shared<const Solution>(std::move(solved));
+    }
+  }
+
+  if (extract_triples) {
+    // Triple extraction (Sect. 5): a data triple survives iff some pattern
+    // edge (v, a, w) admits it with subject in chi(v) and object in chi(w).
+    const Soi& soi = *out.soi;
+    const Solution& solution = *out.solution;
+    for (const Soi::Edge& e : soi.edges) {
+      if (e.predicate == kEmptyPredicate) continue;
+      const util::BitVector& subjects = solution.candidates[e.subject_var];
+      const util::BitVector& objects = solution.candidates[e.object_var];
+      if (subjects.None() || objects.None()) continue;
+      const util::BitMatrix& fwd = db_->Forward(e.predicate);
+      subjects.ForEachSetBit([&](uint32_t s) {
+        for (uint32_t o : fwd.Row(s)) {
+          if (objects.Test(o)) {
+            out.kept.push_back({s, e.predicate, o});
+          }
+        }
+      });
+    }
+  }
+  return out;
+}
+
+Solution SimEngine::SolvePattern(
+    const sparql::Pattern& union_free_pattern) const {
+  return *ProcessBranch(union_free_pattern, /*extract_triples=*/false)
+              .solution;
+}
+
+PruneReport SimEngine::Prune(const sparql::Query& query) const {
+  util::Stopwatch timer;
+  PruneReport report;
+  const size_t n = db_->NumNodes();
+
+  std::vector<std::unique_ptr<sparql::Pattern>> branches =
+      sparql::UnionNormalForm(*query.where);
+  report.num_branches = branches.size();
+
+  // Branch batch: every union-free branch builds/fetches its SOI, solves,
+  // and extracts its triples as one pool task; a branch's fixpoint rounds
+  // may themselves fan out on the same pool (ParallelFor nests safely).
+  // Each task writes only its own outcome slot.
+  std::vector<BranchOutcome> outcomes(branches.size());
+  auto run_branch = [&](size_t i) {
+    outcomes[i] = ProcessBranch(*branches[i], /*extract_triples=*/true);
+  };
+  util::ParallelFor(branches.size() > 1 ? pool_.get() : nullptr,
+                    branches.size(), run_branch);
+
+  // ---- Single-writer merge point. ----------------------------------------
+  // ParallelFor is a barrier, so all branch work is done; only the
+  // coordinating thread touches the report from here on, in branch order,
+  // which keeps the aggregate deterministic for any thread count.
+  // SolveStats::Accumulate and the candidate-map union are unsynchronized
+  // by design and must never move into the branch tasks; the debug
+  // assertion below fires if a refactor ever merges from a pool thread.
+  [[maybe_unused]] const std::thread::id coordinator =
+      std::this_thread::get_id();
+  for (BranchOutcome& outcome : outcomes) {
+    assert(std::this_thread::get_id() == coordinator &&
+           "PruneReport merge must stay on the coordinating thread");
+    if (outcome.solution_from_cache) {
+      ++report.solution_cache_hits;
+    } else {
+      report.stats.Accumulate(outcome.solution->stats);
+    }
+
+    // Candidate sets per original query variable: union over occurrence
+    // groups; surrogates are subsumed by their anchors (Sect. 4.3), but
+    // unanchored optional groups each contribute.
+    for (const auto& [var, groups] : outcome.soi->query_var_groups) {
+      auto [it, inserted] =
+          report.var_candidates.try_emplace(var, util::BitVector(n));
+      for (uint32_t g : groups) {
+        it->second.OrWith(outcome.solution->candidates[g]);
+      }
+    }
+
+    report.kept_triples.insert(report.kept_triples.end(),
+                               outcome.kept.begin(), outcome.kept.end());
+    outcome.kept.clear();
+    outcome.kept.shrink_to_fit();
+  }
+
+  std::sort(report.kept_triples.begin(), report.kept_triples.end());
+  report.kept_triples.erase(
+      std::unique(report.kept_triples.begin(), report.kept_triples.end()),
+      report.kept_triples.end());
+
+  report.total_seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace sparqlsim::sim

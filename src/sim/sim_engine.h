@@ -1,0 +1,121 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "graph/triple.h"
+#include "sim/soi.h"
+#include "sim/soi_cache.h"
+#include "sim/solver.h"
+#include "sparql/ast.h"
+#include "util/bitvector.h"
+#include "util/thread_pool.h"
+
+namespace sparqlsim::sim {
+
+/// Outcome of dual-simulation processing of a SPARQL query (Sect. 5):
+/// the pruned triple set plus per-variable candidate sets.
+struct PruneReport {
+  /// Triples surviving the prune, sorted and deduplicated.
+  ///
+  /// Soundness (Thm. 2 / Def. 3): no match is lost — every solution of the
+  /// query on the full database is also a solution on
+  /// GraphDatabase::Restrict(kept_triples). For the monotone fragment
+  /// (BGP, AND, UNION) the pruned result set is *equal* to the full one.
+  /// For OPTIONAL queries it may be a superset: OPTIONAL is non-monotone,
+  /// so dropping triples that no full match needs can turn a formerly
+  /// bound optional part unbound and unblock additional rows — the
+  /// "overapproximation of the actual SPARQL query results" the paper
+  /// describes in Sect. 1, intended for further inspection, filtering, or
+  /// exact re-evaluation.
+  std::vector<graph::Triple> kept_triples;
+
+  /// Per original query variable: union of the candidate sets of all its
+  /// SOI occurrence groups across all union-free branches.
+  std::map<std::string, util::BitVector> var_candidates;
+
+  /// Aggregated solver statistics over all union-free branches that were
+  /// actually solved (solution-cache hits contribute no solver work, only
+  /// `solution_cache_hits`). Branches may solve concurrently, but the
+  /// aggregation happens at a single-writer merge point after the batch
+  /// barrier — see SimEngine::Prune.
+  SolveStats stats;
+  /// Number of union-free branches processed (Prop. 3).
+  size_t num_branches = 0;
+  /// Branches answered from the engine's solution cache.
+  size_t solution_cache_hits = 0;
+  /// End-to-end wall time: SOI construction + solving + triple extraction.
+  double total_seconds = 0.0;
+};
+
+/// The execution subsystem for SOI solving — owns policy end to end:
+/// thread pool, per-round parallel inequality evaluation, batching of
+/// union-free branches, and SOI/solution caching.
+///
+/// One engine binds one database (borrowed; it must outlive the engine).
+/// The pool is created once from `options.num_threads` (0 = hardware,
+/// 1 = everything inline on the caller) and shared by every solve issued
+/// through the engine, including the nested per-round parallelism of
+/// branch-batched prunes. Determinism: results are bit-identical for any
+/// `num_threads`; see SolveSoi.
+///
+/// Caching: unless a shared cache is injected, the engine creates a private
+/// SoiCache when either cache toggle is set. Entries are keyed by database
+/// generation + canonical branch key, so a shared cache may safely serve
+/// engines bound to different databases (each sees only its own entries).
+///
+/// Thread-safety: the engine itself is safe to use from the thread that
+/// owns it; issue concurrent work *through* it (branch batching, parallel
+/// rounds), not by calling it from multiple threads.
+class SimEngine {
+ public:
+  explicit SimEngine(const graph::GraphDatabase* db,
+                     SolverOptions options = {},
+                     std::shared_ptr<SoiCache> cache = nullptr);
+
+  const graph::GraphDatabase& db() const { return *db_; }
+  const SolverOptions& options() const { return options_; }
+  /// Null when the engine runs inline (num_threads resolves to 1).
+  util::ThreadPool* pool() const { return pool_.get(); }
+  /// Null when both cache toggles are off and no cache was injected.
+  SoiCache* cache() const { return cache_.get(); }
+  std::shared_ptr<SoiCache> shared_cache() const { return cache_; }
+
+  /// Solves a prepared SOI through the engine's pool. No cache
+  /// interaction — callers that constructed a Soi by hand (or restrict via
+  /// `initial`, as strong simulation does) get exactly the solver.
+  Solution Solve(const Soi& soi,
+                 const std::vector<util::BitVector>* initial = nullptr) const;
+
+  /// Builds (or fetches from cache) and solves the SOI of a union-free
+  /// pattern; consults the solution cache when enabled.
+  Solution SolvePattern(const sparql::Pattern& union_free_pattern) const;
+
+  /// Full pipeline: query -> pruned triple set + candidates. All union-free
+  /// branches of the union normal form are processed concurrently through
+  /// the pool (solve + triple extraction per branch), then merged in branch
+  /// order at a single-writer merge point, so the report is deterministic
+  /// for any thread count.
+  PruneReport Prune(const sparql::Query& query) const;
+
+ private:
+  struct BranchOutcome {
+    std::shared_ptr<const Soi> soi;
+    std::shared_ptr<const Solution> solution;
+    std::vector<graph::Triple> kept;
+    bool solution_from_cache = false;
+  };
+
+  BranchOutcome ProcessBranch(const sparql::Pattern& branch,
+                              bool extract_triples) const;
+
+  const graph::GraphDatabase* db_;
+  SolverOptions options_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::shared_ptr<SoiCache> cache_;
+};
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,76 @@
+#include "sim/soi_cache.h"
+
+#include <utility>
+
+namespace sparqlsim::sim {
+
+std::string SoiCache::MakeKey(uint64_t generation, const std::string& key) {
+  return std::to_string(generation) + '\n' + key;
+}
+
+std::shared_ptr<const Soi> SoiCache::FindSoi(uint64_t generation,
+                                             const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sois_.find(MakeKey(generation, key));
+  if (it == sois_.end()) {
+    ++stats_.soi_misses;
+    return nullptr;
+  }
+  ++stats_.soi_hits;
+  return it->second;
+}
+
+std::shared_ptr<const Soi> SoiCache::InsertSoi(uint64_t generation,
+                                               const std::string& key,
+                                               Soi soi) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sois_.try_emplace(
+      MakeKey(generation, key), std::make_shared<const Soi>(std::move(soi)));
+  return it->second;
+}
+
+std::shared_ptr<const Solution> SoiCache::FindSolution(
+    uint64_t generation, const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = solutions_.find(MakeKey(generation, key));
+  if (it == solutions_.end()) {
+    ++stats_.solution_misses;
+    return nullptr;
+  }
+  ++stats_.solution_hits;
+  return it->second;
+}
+
+std::shared_ptr<const Solution> SoiCache::InsertSolution(uint64_t generation,
+                                                         const std::string& key,
+                                                         Solution solution) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = solutions_.try_emplace(
+      MakeKey(generation, key),
+      std::make_shared<const Solution>(std::move(solution)));
+  return it->second;
+}
+
+SoiCache::Stats SoiCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t SoiCache::NumSois() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sois_.size();
+}
+
+size_t SoiCache::NumSolutions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return solutions_.size();
+}
+
+void SoiCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sois_.clear();
+  solutions_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/soi.h"
+#include "sim/solver.h"
+
+namespace sparqlsim::sim {
+
+/// Cache of per-query-structure artifacts, keyed by
+/// (database generation, sparql::CanonicalPatternKey of the union-free
+/// branch). Two layers:
+///
+///  * SOI layer — the constructed system of inequalities. Reusable whenever
+///    the same normalized branch is solved again against the same database
+///    (SOIs embed database predicate/constant ids, so the generation is part
+///    of the key).
+///  * Solution layer — the solved fixpoint itself. The largest solution is
+///    unique (Prop. 1), independent of every solver heuristic, so a cached
+///    solution is valid for any SolverOptions as long as the run was not
+///    truncated (SimEngine never stores max_rounds-limited runs) and the
+///    database generation matches. A Restrict()ed or reloaded database gets
+///    a fresh generation, which invalidates implicitly — stale entries are
+///    unreachable, never wrong.
+///
+/// All methods are thread-safe; branch batches probe the cache
+/// concurrently. Entries are shared_ptr<const ...> so a hit is a pointer
+/// copy, not a deep copy.
+class SoiCache {
+ public:
+  struct Stats {
+    size_t soi_hits = 0;
+    size_t soi_misses = 0;
+    size_t solution_hits = 0;
+    size_t solution_misses = 0;
+  };
+
+  /// Returns the cached SOI for (generation, key), or null (counting a
+  /// miss).
+  std::shared_ptr<const Soi> FindSoi(uint64_t generation,
+                                     const std::string& key);
+  /// Stores `soi` and returns the (possibly pre-existing) cached value.
+  std::shared_ptr<const Soi> InsertSoi(uint64_t generation,
+                                       const std::string& key, Soi soi);
+
+  /// Returns the cached full-fixpoint solution, or null (counting a miss).
+  std::shared_ptr<const Solution> FindSolution(uint64_t generation,
+                                               const std::string& key);
+  std::shared_ptr<const Solution> InsertSolution(uint64_t generation,
+                                                 const std::string& key,
+                                                 Solution solution);
+
+  Stats stats() const;
+  size_t NumSois() const;
+  size_t NumSolutions() const;
+  void Clear();
+
+ private:
+  static std::string MakeKey(uint64_t generation, const std::string& key);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Soi>> sois_;
+  std::unordered_map<std::string, std::shared_ptr<const Solution>> solutions_;
+  Stats stats_;
+};
+
+}  // namespace sparqlsim::sim

@@ -1,9 +1,11 @@
 #include "sim/solver.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace sparqlsim::sim {
 
@@ -17,6 +19,17 @@ struct Work {
   std::vector<bool> queued;  // membership in `next`
 };
 
+/// What the evaluation phase decided for one unstable inequality. The
+/// merge phase replays these tags in worklist order, so the tag plus the
+/// mask fully determine the round's effect.
+enum class EvalKind : uint8_t {
+  kSkip,   // lhs already empty at round start: nothing to do
+  kClear,  // rhs empty / predicate absent: lhs drains to the empty set
+  kRow,    // mask = chi(rhs) *b A (Eq. 9)
+  kCol,    // mask = chi(lhs) filtered by per-column intersection tests
+  kSub,    // mask = chi(rhs) (subordination, Eq. 14/15)
+};
+
 }  // namespace
 
 void SolveStats::Accumulate(const SolveStats& other) {
@@ -26,6 +39,9 @@ void SolveStats::Accumulate(const SolveStats& other) {
   row_evals += other.row_evals;
   col_evals += other.col_evals;
   solve_seconds += other.solve_seconds;
+  parallel_rounds += other.parallel_rounds;
+  max_round_width = std::max(max_round_width, other.max_round_width);
+  threads_used = std::max(threads_used, other.threads_used);
 }
 
 bool Solution::AnyCandidate() const {
@@ -44,6 +60,17 @@ size_t Solution::RelationSize() const {
 Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const SolverOptions& options,
                   const std::vector<util::BitVector>* initial) {
+  std::unique_ptr<util::ThreadPool> transient;
+  if (options.ResolvedThreads() > 1) {
+    transient = std::make_unique<util::ThreadPool>(options.ResolvedThreads());
+  }
+  return SolveSoi(soi, db, options, initial, transient.get());
+}
+
+Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const SolverOptions& options,
+                  const std::vector<util::BitVector>* initial,
+                  util::ThreadPool* pool) {
   util::Stopwatch timer;
   const size_t n = db.NumNodes();
   const size_t num_vars = soi.NumVars();
@@ -117,7 +144,14 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   work.current = order;
   work.queued.assign(num_ineqs, false);
 
-  util::BitVector scratch(n);
+  // Per-inequality result slots, reused across rounds. chi and counts are
+  // frozen during the evaluation phase — every mask is a pure function of
+  // the round-start assignment — so the phase parallelizes with no
+  // synchronization beyond the end-of-round barrier, and the sequential
+  // merge below replays the slots in worklist order for a scheduling-
+  // independent outcome.
+  std::vector<util::BitVector> masks;
+  std::vector<EvalKind> kinds;
 
   auto on_change = [&](uint32_t var) {
     counts[var] = chi[var].Count();
@@ -129,71 +163,112 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     }
   };
 
+  auto evaluate = [&](size_t k) {
+    const uint32_t idx = work.current[k];
+    if (idx >= num_matrix) {
+      const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
+      kinds[k] = EvalKind::kSub;
+      masks[k] = chi[s.rhs];
+      return;
+    }
+
+    const Soi::MatrixIneq& m = soi.matrix_ineqs[idx];
+    if (counts[m.lhs] == 0) {  // cannot shrink further
+      kinds[k] = EvalKind::kSkip;
+      return;
+    }
+    if (m.predicate == kEmptyPredicate || counts[m.rhs] == 0) {
+      kinds[k] = EvalKind::kClear;
+      return;
+    }
+
+    const util::BitMatrix& a =
+        m.forward ? db.Forward(m.predicate) : db.Backward(m.predicate);
+    const util::BitMatrix& a_t =
+        m.forward ? db.Backward(m.predicate) : db.Forward(m.predicate);
+
+    bool row_wise = true;
+    switch (options.eval_mode) {
+      case SolverOptions::EvalMode::kRowWise:
+        row_wise = true;
+        break;
+      case SolverOptions::EvalMode::kColumnWise:
+        row_wise = false;
+        break;
+      case SolverOptions::EvalMode::kDynamic:
+        // Paper's rule: row-wise iff chi(rhs) has fewer bits than chi(lhs).
+        row_wise = counts[m.rhs] < counts[m.lhs];
+        break;
+    }
+
+    if (row_wise) {
+      kinds[k] = EvalKind::kRow;
+      masks[k].Resize(n);
+      a.Multiply(chi[m.rhs], &masks[k]);
+    } else {
+      kinds[k] = EvalKind::kCol;
+      // Keep candidate j of lhs iff column j of A intersects chi(rhs);
+      // column j of A is row j of A^T.
+      masks[k] = chi[m.lhs];
+      masks[k].ForEachSetBit([&](uint32_t j) {
+        if (!a_t.RowIntersects(j, chi[m.rhs])) masks[k].Reset(j);
+      });
+    }
+  };
+
   SolveStats& stats = solution.stats;
+  stats.threads_used = pool != nullptr ? pool->NumThreads() : 1;
   while (!work.current.empty()) {
     if (options.max_rounds != 0 && stats.rounds >= options.max_rounds) break;
     ++stats.rounds;
-    for (uint32_t idx : work.current) {
+    const size_t width = work.current.size();
+    stats.max_round_width = std::max(stats.max_round_width, width);
+    if (masks.size() < width) {
+      masks.resize(width);
+      kinds.resize(width);
+    }
+
+    // Evaluation phase: chi/counts are read-only until the barrier.
+    if (pool != nullptr && width > 1) {
+      ++stats.parallel_rounds;
+      util::ParallelFor(pool, width, evaluate);
+    } else {
+      for (size_t k = 0; k < width; ++k) evaluate(k);
+    }
+
+    // Merge phase, single-threaded, in worklist order.
+    for (size_t k = 0; k < width; ++k) {
       ++stats.evaluations;
-      if (idx >= num_matrix) {
-        const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
-        if (chi[s.lhs].AndWith(chi[s.rhs])) {
-          ++stats.updates;
-          on_change(s.lhs);
-        }
-        continue;
-      }
-
-      const Soi::MatrixIneq& m = soi.matrix_ineqs[idx];
-      if (counts[m.lhs] == 0) continue;  // cannot shrink further
-      if (m.predicate == kEmptyPredicate || counts[m.rhs] == 0) {
-        chi[m.lhs].ClearAll();
-        ++stats.updates;
-        on_change(m.lhs);
-        continue;
-      }
-
-      const util::BitMatrix& a =
-          m.forward ? db.Forward(m.predicate) : db.Backward(m.predicate);
-      const util::BitMatrix& a_t =
-          m.forward ? db.Backward(m.predicate) : db.Forward(m.predicate);
-
-      bool row_wise = true;
-      switch (options.eval_mode) {
-        case SolverOptions::EvalMode::kRowWise:
-          row_wise = true;
-          break;
-        case SolverOptions::EvalMode::kColumnWise:
-          row_wise = false;
-          break;
-        case SolverOptions::EvalMode::kDynamic:
-          // Paper's rule: row-wise iff chi(rhs) has fewer bits than
-          // chi(lhs).
-          row_wise = counts[m.rhs] < counts[m.lhs];
-          break;
-      }
-
+      const uint32_t idx = work.current[k];
+      const uint32_t lhs = idx >= num_matrix
+                               ? soi.sub_ineqs[idx - num_matrix].lhs
+                               : soi.matrix_ineqs[idx].lhs;
       bool changed = false;
-      if (row_wise) {
-        ++stats.row_evals;
-        a.Multiply(chi[m.rhs], &scratch);
-        changed = chi[m.lhs].AndWith(scratch);
-      } else {
-        ++stats.col_evals;
-        // Keep candidate j of lhs iff column j of A intersects chi(rhs);
-        // column j of A is row j of A^T.
-        chi[m.lhs].ForEachSetBit([&](uint32_t j) {
-          if (!a_t.RowIntersects(j, chi[m.rhs])) {
-            chi[m.lhs].Reset(j);
-            changed = true;
-          }
-        });
+      switch (kinds[k]) {
+        case EvalKind::kSkip:
+          continue;
+        case EvalKind::kClear:
+          changed = chi[lhs].Any();
+          if (changed) chi[lhs].ClearAll();
+          break;
+        case EvalKind::kRow:
+          ++stats.row_evals;
+          changed = chi[lhs].AndWith(masks[k]);
+          break;
+        case EvalKind::kCol:
+          ++stats.col_evals;
+          changed = chi[lhs].AndWith(masks[k]);
+          break;
+        case EvalKind::kSub:
+          changed = chi[lhs].AndWith(masks[k]);
+          break;
       }
       if (changed) {
         ++stats.updates;
-        on_change(m.lhs);
+        on_change(lhs);
       }
     }
+
     work.current.clear();
     std::swap(work.current, work.next);
     std::fill(work.queued.begin(), work.queued.end(), false);

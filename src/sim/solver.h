@@ -7,6 +7,7 @@
 #include "graph/graph_database.h"
 #include "sim/soi.h"
 #include "util/bitvector.h"
+#include "util/thread_pool.h"
 
 namespace sparqlsim::sim {
 
@@ -32,6 +33,31 @@ struct SolverOptions {
 
   /// Safety valve for experiments; 0 means no limit.
   size_t max_rounds = 0;
+
+  /// Worker threads for the solving path: per-round parallel inequality
+  /// evaluation and (through SimEngine) concurrent union-free branches.
+  /// 0 means all hardware threads; 1 (the default) keeps everything on the
+  /// calling thread. Results are bit-identical for every value — the solver
+  /// evaluates each round against a stable snapshot and merges the results
+  /// in a fixed order — so this is purely a wall-clock knob.
+  size_t num_threads = 1;
+
+  /// Cache toggles, honored by SimEngine (the free SolveSoi function has no
+  /// cache to consult). `cache_sois` reuses the constructed SOI of a
+  /// canonically-equal normalized pattern; `cache_solutions` additionally
+  /// reuses whole solutions when the database generation matches. The
+  /// solution layer requires the SOI layer (a cached solution is only valid
+  /// against the cached SOI instance's variable numbering), so
+  /// `cache_solutions` without `cache_sois` is inert. Solutions are never
+  /// cached for truncated runs (max_rounds != 0), whose outcome is not the
+  /// canonical fixpoint.
+  bool cache_sois = true;
+  bool cache_solutions = true;
+
+  /// `num_threads` with the 0-means-hardware convention applied.
+  size_t ResolvedThreads() const {
+    return util::ThreadPool::ResolveThreadCount(num_threads);
+  }
 };
 
 /// Counters describing one fixpoint run.
@@ -46,7 +72,21 @@ struct SolveStats {
   size_t col_evals = 0;
   double solve_seconds = 0.0;
 
-  /// Adds `other`'s counters and time into this (multi-branch aggregation).
+  /// Per-round parallelism counters: rounds whose evaluation phase ran on a
+  /// thread pool, the widest round (unstable inequalities evaluated
+  /// together — the available per-round parallelism), and the executor count
+  /// the solve ran with (pool workers, or 1 for inline solves).
+  size_t parallel_rounds = 0;
+  size_t max_round_width = 0;
+  size_t threads_used = 1;
+
+  /// Adds `other`'s counters and time into this (multi-branch aggregation);
+  /// width/thread counters combine by max.
+  ///
+  /// Not synchronized: when branches are solved concurrently, each branch
+  /// writes its own SolveStats and the coordinator calls Accumulate for all
+  /// branches at a single-threaded merge point after the batch barrier
+  /// (see SimEngine::Prune). Never call this from worker tasks.
   void Accumulate(const SolveStats& other);
 };
 
@@ -73,8 +113,26 @@ struct Solution {
 /// the fixpoint then computes the largest solution *below* the given
 /// assignment. This is how restricted instances — e.g. the distance-bounded
 /// balls of strong simulation — reuse the solver.
+/// One fixpoint round evaluates every unstable inequality against the
+/// round-start assignment (the results are per-inequality AND-masks), then
+/// merges the masks into the candidate vectors in fixed worklist order on
+/// the calling thread. Because each mask is a pure function of the
+/// round-start state and the merge order never depends on scheduling, the
+/// result is bit-identical for every thread count.
+///
+/// When `options.num_threads != 1` a transient pool is spun up for this one
+/// call; long-lived consumers should hold a SimEngine, which owns a
+/// persistent pool (and the caches) and passes it to the overload below.
 Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const SolverOptions& options = {},
                   const std::vector<util::BitVector>* initial = nullptr);
+
+/// Pool-reusing overload: evaluates rounds through `pool` when it is
+/// non-null, inline otherwise. `options.num_threads` is ignored in favor of
+/// the pool actually passed.
+Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
+                  const SolverOptions& options,
+                  const std::vector<util::BitVector>* initial,
+                  util::ThreadPool* pool);
 
 }  // namespace sparqlsim::sim

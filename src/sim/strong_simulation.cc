@@ -4,6 +4,7 @@
 #include <deque>
 #include <set>
 
+#include "sim/sim_engine.h"
 #include "sim/soi.h"
 #include "util/stopwatch.h"
 
@@ -78,8 +79,16 @@ StrongSimResult StrongSimulation(const graph::Graph& pattern,
   StrongSimResult result;
   result.radius = PatternDiameter(pattern);
 
+  // One engine for the whole run: the global prefilter and every per-ball
+  // restricted solve reuse the same pool instead of paying per-solve thread
+  // startup. Ball solves pass `initial`, which bypasses caching by design.
+  SolverOptions solver_options = options.solver;
+  solver_options.cache_sois = false;
+  solver_options.cache_solutions = false;
+  SimEngine engine(&db, solver_options);
+
   Soi soi = BuildSoiFromGraph(pattern);
-  Solution global = SolveSoi(soi, db, options.solver);
+  Solution global = engine.Solve(soi);
   if (!global.AnyCandidate()) {
     result.seconds = watch.ElapsedSeconds();
     return result;
@@ -103,7 +112,7 @@ StrongSimResult StrongSimulation(const graph::Graph& pattern,
       restricted[v] = global.candidates[v];
       restricted[v].AndWith(ball);
     }
-    Solution local = SolveSoi(soi, db, options.solver, &restricted);
+    Solution local = engine.Solve(soi, &restricted);
 
     // The center must participate in the relation.
     bool center_in = false;

@@ -1,5 +1,8 @@
 #include "sparql/normalize.h"
 
+#include <algorithm>
+#include <sstream>
+
 namespace sparqlsim::sparql {
 
 std::vector<std::unique_ptr<Pattern>> UnionNormalForm(const Pattern& pattern) {
@@ -60,6 +63,69 @@ std::unique_ptr<Pattern> MergeBgps(std::unique_ptr<Pattern> pattern) {
       break;
   }
   return pattern;
+}
+
+namespace {
+
+/// Kind-tagged surface form so `?x`, `<x>` and `"x"` never collide even if
+/// the surface syntax were ever to change.
+void PrintTerm(const Term& t, std::ostringstream* out) {
+  switch (t.kind()) {
+    case Term::Kind::kVariable:
+      *out << "v?";
+      break;
+    case Term::Kind::kIri:
+      *out << "i<";
+      break;
+    case Term::Kind::kLiteral:
+      *out << "l\"";
+      break;
+  }
+  *out << t.text();
+}
+
+std::string TripleKey(const TriplePattern& t) {
+  std::ostringstream out;
+  PrintTerm(t.subject, &out);
+  out << '\x1f';
+  PrintTerm(t.predicate, &out);
+  out << '\x1f';
+  PrintTerm(t.object, &out);
+  return out.str();
+}
+
+void PrintCanonical(const Pattern& p, std::ostringstream* out) {
+  switch (p.kind()) {
+    case PatternKind::kBgp: {
+      std::vector<std::string> keys;
+      keys.reserve(p.triples().size());
+      for (const TriplePattern& t : p.triples()) keys.push_back(TripleKey(t));
+      std::sort(keys.begin(), keys.end());
+      *out << "B(";
+      for (const std::string& k : keys) *out << k << '\x1e';
+      *out << ')';
+      break;
+    }
+    case PatternKind::kJoin:
+    case PatternKind::kOptional:
+    case PatternKind::kUnion:
+      *out << (p.kind() == PatternKind::kJoin
+                   ? "J("
+                   : p.kind() == PatternKind::kOptional ? "O(" : "U(");
+      PrintCanonical(p.left(), out);
+      *out << ',';
+      PrintCanonical(p.right(), out);
+      *out << ')';
+      break;
+  }
+}
+
+}  // namespace
+
+std::string CanonicalPatternKey(const Pattern& pattern) {
+  std::ostringstream out;
+  PrintCanonical(pattern, &out);
+  return out.str();
 }
 
 }  // namespace sparqlsim::sparql

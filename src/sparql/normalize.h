@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sparql/ast.h"
@@ -27,5 +28,21 @@ std::vector<std::unique_ptr<Pattern>> UnionNormalForm(const Pattern& pattern);
 /// gives the evaluation engine maximal freedom for join ordering within
 /// conjunctive blocks.
 std::unique_ptr<Pattern> MergeBgps(std::unique_ptr<Pattern> pattern);
+
+/// Canonical cache key of a pattern: a deterministic serialization that is
+/// invariant under the order of triple patterns inside each BGP (triples are
+/// sorted by kind-tagged term text before printing). Two patterns with equal
+/// keys pose the same solving problem against the same database — but their
+/// SOIs may number variables differently (construction follows triple
+/// appearance order), so cache consumers must reuse the cached SOI
+/// *instance* together with anything derived from it (sim::SimEngine pairs
+/// the cached SOI with its cached solution for exactly this reason).
+///
+/// This is a syntactic canonical form, not a graph-isomorphism one: queries
+/// that differ only in variable *names* hash to different keys. That is the
+/// right trade-off for the repeated-workload case the cache targets (the
+/// same query text arriving again), and it errs on the side of a miss, never
+/// a wrong hit.
+std::string CanonicalPatternKey(const Pattern& pattern);
 
 }  // namespace sparqlsim::sparql

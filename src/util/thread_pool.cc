@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace sparqlsim::util {
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t resolved = ResolveThreadCount(num_threads);
+  workers_.reserve(resolved);
+  for (size_t i = 0; i < resolved; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (pool == nullptr || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared by the caller and every helper task; kept alive past the
+  // caller's return by the helper closures, so a helper that only gets
+  // scheduled after all iterations are done finds next >= n and exits
+  // without touching `fn`.
+  struct State {
+    explicit State(size_t total, const std::function<void(size_t)>& f)
+        : n(total), fn(&f) {}
+    const size_t n;
+    const std::function<void(size_t)>* fn;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>(n, fn);
+
+  auto drain = [state] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->n) return;
+      (*state->fn)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->n) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  // The caller is one executor; at most n - 1 helpers can do useful work.
+  size_t helpers = std::min(pool->NumThreads(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) pool->Submit(drain);
+  drain();
+
+  // All iterations are claimed once drain() returns; wait for the ones
+  // still executing on helper threads. Helpers that never ran hold no
+  // iterations, so this wait never depends on queue progress (no deadlock
+  // under nesting).
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) >= state->n;
+  });
+}
+
+}  // namespace sparqlsim::util

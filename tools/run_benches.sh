@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the reproduction benches at smoke scale and archives the numbers
+# under bench/results/<UTC timestamp>/ so the perf trajectory is measurable
+# PR-over-PR. Raw stdout is kept per bench next to parsed JSON summaries.
+#
+# Usage: tools/run_benches.sh [build_dir] [results_root]
+#
+# Scale knobs (exported only if unset, so callers/CI can override):
+#   SPARQLSIM_LUBM_UNIVERSITIES (default 2)
+#   SPARQLSIM_DBPEDIA_SCALE     (default 1)
+#   SPARQLSIM_BENCH_REPS        (default 2)
+#   SPARQLSIM_PARALLEL_QUERIES  (default 6)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+RESULTS_ROOT="${2:-$REPO_ROOT/bench/results}"
+STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
+RUN_DIR="$RESULTS_ROOT/$STAMP"
+mkdir -p "$RUN_DIR"
+
+export SPARQLSIM_LUBM_UNIVERSITIES="${SPARQLSIM_LUBM_UNIVERSITIES:-2}"
+export SPARQLSIM_DBPEDIA_SCALE="${SPARQLSIM_DBPEDIA_SCALE:-1}"
+export SPARQLSIM_BENCH_REPS="${SPARQLSIM_BENCH_REPS:-2}"
+export SPARQLSIM_PARALLEL_QUERIES="${SPARQLSIM_PARALLEL_QUERIES:-6}"
+
+run_bench() {
+  local name="$1"
+  local bin="$BUILD_DIR/$name"
+  if [[ ! -x "$bin" ]]; then
+    echo "[run_benches] $name not built, skipping" >&2
+    return 0
+  fi
+  echo "[run_benches] running $name ..." >&2
+  local t0 t1
+  t0=$(date +%s.%N)
+  "$bin" >"$RUN_DIR/$name.txt" 2>"$RUN_DIR/$name.log"
+  t1=$(date +%s.%N)
+  echo "$name $(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')" \
+    >>"$RUN_DIR/wallclock.txt"
+}
+
+# Table 2/3 + ablation smoke runs, plus the thread-scaling bench (which
+# writes its own structured JSON).
+run_bench bench_table2
+run_bench bench_table3
+run_bench bench_ablation
+SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_parallel.json" run_bench bench_parallel
+
+# Parse the bench tables' "total" rows into one summary JSON. awk fields:
+# bench_table2: total t_soi t_ma speedup / bench_table3 has its own shape —
+# keep it generic: archive every line starting with "total".
+{
+  echo '{'
+  echo "  \"timestamp\": \"$STAMP\","
+  echo "  \"git_rev\": \"$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)\","
+  echo "  \"scale\": {"
+  echo "    \"lubm_universities\": $SPARQLSIM_LUBM_UNIVERSITIES,"
+  echo "    \"dbpedia_scale\": $SPARQLSIM_DBPEDIA_SCALE,"
+  echo "    \"reps\": $SPARQLSIM_BENCH_REPS"
+  echo "  },"
+  echo '  "totals": {'
+  first=1
+  for name in bench_table2 bench_table3; do
+    [[ -f "$RUN_DIR/$name.txt" ]] || continue
+    total_line=$(grep -m1 '^total' "$RUN_DIR/$name.txt" || true)
+    [[ -n "$total_line" ]] || continue
+    soi=$(echo "$total_line" | awk '{print $2}')
+    other=$(echo "$total_line" | awk '{print $3}')
+    [[ $first -eq 1 ]] || echo ','
+    first=0
+    printf '    "%s": {"t_sparqlsim": %s, "t_baseline": %s}' \
+      "$name" "${soi:-0}" "${other:-0}"
+  done
+  echo ''
+  echo '  },'
+  echo "  \"wallclock_seconds\": {"
+  if [[ -f "$RUN_DIR/wallclock.txt" ]]; then
+    awk '{printf "%s    \"%s\": %s", (NR==1 ? "" : ",\n"), $1, $2} END {print ""}' \
+      "$RUN_DIR/wallclock.txt"
+  fi
+  echo '  }'
+  echo '}'
+} >"$RUN_DIR/summary.json"
+
+echo "[run_benches] results archived in $RUN_DIR" >&2
+ls -l "$RUN_DIR" >&2

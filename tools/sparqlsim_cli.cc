@@ -11,17 +11,26 @@
 //   explain <data.nt> <query.rq|->        show both engines' query plans
 //   convert <data.nt> <out.gdb>           convert to the binary format
 //
+// Options (anywhere on the command line):
+//   --threads N   solver worker threads for sim/prune/bench; 0 = all
+//                 hardware threads (the default). Results are bit-identical
+//                 for every value.
+//   --no-cache    disable the SimEngine SOI/solution caches (--cache
+//                 re-enables; on by default).
+//
 // Databases load from N-Triples (.nt) or the binary format (.gdb).
 // Queries are read from a file or stdin ("-"). Example:
 //   echo 'SELECT * WHERE { ?d <directed> ?m . }' | sparqlsim query movie.nt -
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "engine/evaluator.h"
 #include "engine/explain.h"
@@ -30,7 +39,7 @@
 #include "graph/ntriples.h"
 #include "sim/hhk_baseline.h"
 #include "sim/ma_baseline.h"
-#include "sim/pruner.h"
+#include "sim/sim_engine.h"
 #include "sparql/ast.h"
 #include "sparql/parser.h"
 #include "sparql/printer.h"
@@ -41,7 +50,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: sparqlsim <stats|query|prune|sim|bench> <data.nt> "
+               "usage: sparqlsim [--threads N] [--cache|--no-cache] "
+               "<stats|query|prune|sim|bench> <data.nt> "
                "[query.rq|-] [out.nt]\n");
   return 2;
 }
@@ -132,9 +142,9 @@ int CmdQuery(const graph::GraphDatabase& db, const sparql::Query& query) {
   return 0;
 }
 
-int CmdSim(const graph::GraphDatabase& db, const sparql::Query& query) {
-  sim::SparqlSimProcessor processor(&db);
-  sim::PruneReport report = processor.Prune(query);
+int CmdSim(const sim::SimEngine& engine, const sparql::Query& query) {
+  const graph::GraphDatabase& db = engine.db();
+  sim::PruneReport report = engine.Prune(query);
   for (const auto& [var, candidates] : report.var_candidates) {
     std::printf("?%s: %zu candidates\n", var.c_str(), candidates.Count());
     size_t shown = 0;
@@ -151,10 +161,10 @@ int CmdSim(const graph::GraphDatabase& db, const sparql::Query& query) {
   return 0;
 }
 
-int CmdPrune(const graph::GraphDatabase& db, const sparql::Query& query,
+int CmdPrune(const sim::SimEngine& engine, const sparql::Query& query,
              const char* out_path) {
-  sim::SparqlSimProcessor processor(&db);
-  sim::PruneReport report = processor.Prune(query);
+  const graph::GraphDatabase& db = engine.db();
+  sim::PruneReport report = engine.Prune(query);
   std::printf("kept %zu of %zu triples (%.3f%%) in %.4fs\n",
               report.kept_triples.size(), db.NumTriples(),
               100.0 * static_cast<double>(report.kept_triples.size()) /
@@ -173,15 +183,15 @@ int CmdPrune(const graph::GraphDatabase& db, const sparql::Query& query,
   return 0;
 }
 
-int CmdBench(const graph::GraphDatabase& db, const sparql::Query& query) {
+int CmdBench(const sim::SimEngine& engine, const sparql::Query& query) {
+  const graph::GraphDatabase& db = engine.db();
   if (!query.where->IsBgp()) {
     std::fprintf(stderr, "bench requires a plain BGP query\n");
     return 1;
   }
-  sim::SparqlSimProcessor processor(&db);
 
   util::Stopwatch watch;
-  sim::Solution soi = processor.Solve(*query.where);
+  sim::Solution soi = engine.SolvePattern(*query.where);
   double t_soi = watch.ElapsedSeconds();
 
   std::vector<sparql::Term> node_terms;
@@ -217,35 +227,72 @@ int CmdBench(const graph::GraphDatabase& db, const sparql::Query& query) {
 }
 
 int Run(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  const char* command = argv[1];
+  // Peel off --threads/--cache options (anywhere); the rest stays
+  // positional: <command> <data> [query] [out].
+  sim::SolverOptions options;
+  options.num_threads = 0;  // CLI default: all hardware threads
+  std::vector<const char*> args;
+  auto parse_threads = [&](const char* text) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "invalid --threads value '%s'\n", text);
+      return false;
+    }
+    options.num_threads = static_cast<size_t>(value);
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc || !parse_threads(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      if (!parse_threads(argv[i] + 10)) return Usage();
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      options.cache_sois = options.cache_solutions = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.cache_sois = options.cache_solutions = false;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
 
-  std::optional<graph::GraphDatabase> loaded = LoadDatabase(argv[2]);
+  if (args.size() < 2) return Usage();
+  const char* command = args[0];
+
+  std::optional<graph::GraphDatabase> loaded = LoadDatabase(args[1]);
   if (!loaded) return 1;
   const graph::GraphDatabase& db = *loaded;
 
   if (std::strcmp(command, "stats") == 0) return CmdStats(db);
   if (std::strcmp(command, "convert") == 0) {
-    if (argc < 4) return Usage();
-    util::Status status = graph::BinaryIo::SaveFile(db, argv[3]);
+    if (args.size() < 3) return Usage();
+    util::Status status = graph::BinaryIo::SaveFile(db, args[2]);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.message().c_str());
       return 1;
     }
-    std::fprintf(stderr, "written %s\n", argv[3]);
+    std::fprintf(stderr, "written %s\n", args[2]);
     return 0;
   }
 
-  if (argc < 4) return Usage();
+  if (args.size() < 3) return Usage();
   sparql::Query query;
-  if (!ReadQuery(argv[3], &query)) return 1;
+  if (!ReadQuery(args[2], &query)) return 1;
 
   if (std::strcmp(command, "query") == 0) return CmdQuery(db, query);
-  if (std::strcmp(command, "sim") == 0) return CmdSim(db, query);
+
+  sim::SimEngine engine(&db, options);
+  if (std::strcmp(command, "sim") == 0) return CmdSim(engine, query);
   if (std::strcmp(command, "prune") == 0) {
-    return CmdPrune(db, query, argc > 4 ? argv[4] : nullptr);
+    return CmdPrune(engine, query, args.size() > 3 ? args[3] : nullptr);
   }
-  if (std::strcmp(command, "bench") == 0) return CmdBench(db, query);
+  if (std::strcmp(command, "bench") == 0) return CmdBench(engine, query);
   if (std::strcmp(command, "explain") == 0) {
     std::printf("%s",
                 engine::ExplainQuery(
