@@ -150,9 +150,13 @@ void WriteJson(const std::vector<WorkloadResult>& results, FILE* out) {
   std::fprintf(out, "  ]\n}\n");
 }
 
-int Run() {
+int Run(int argc, char** argv) {
   std::printf("SimEngine thread scaling (branch batching + parallel rounds)\n");
-  graph::GraphDatabase db = bench::MakeBenchDbpedia();
+  // `--db <file.gdb>` scales the solver over a real ingested database.
+  std::optional<graph::GraphDatabase> override_db =
+      bench::LoadDbOverride(argc, argv);
+  graph::GraphDatabase db =
+      override_db ? std::move(*override_db) : bench::MakeBenchDbpedia();
 
   const size_t k = bench::EnvSize("SPARQLSIM_PARALLEL_QUERIES", 6);
   sparql::Query union_query = MakeUnionWorkload(k);
@@ -189,4 +193,4 @@ int Run() {
 }  // namespace
 }  // namespace sparqlsim
 
-int main() { return sparqlsim::Run(); }
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }

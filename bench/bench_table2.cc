@@ -15,8 +15,12 @@
 namespace sparqlsim {
 namespace {
 
-int Run() {
-  graph::GraphDatabase db = bench::MakeBenchDbpedia();
+int Run(int argc, char** argv) {
+  // `--db <file.gdb>` runs the table on a real ingested database.
+  std::optional<graph::GraphDatabase> override_db =
+      bench::LoadDbOverride(argc, argv);
+  graph::GraphDatabase db =
+      override_db ? std::move(*override_db) : bench::MakeBenchDbpedia();
   sim::SparqlSimProcessor processor(&db);
 
   std::printf("Table 2: dual simulation runtimes, SPARQLSIM vs Ma et al. "
@@ -63,4 +67,4 @@ int Run() {
 }  // namespace
 }  // namespace sparqlsim
 
-int main() { return sparqlsim::Run(); }
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }

@@ -46,9 +46,19 @@ void RunWorkload(const char* dataset_name, const graph::GraphDatabase& db,
   }
 }
 
-int Run() {
+int Run(int argc, char** argv) {
   std::printf("Table 3: result sizes, required triples, SPARQLSIM pruning "
               "time, and triples after pruning\n");
+
+  // `--db <file.gdb>` runs every workload on a real ingested database.
+  std::optional<graph::GraphDatabase> override_db =
+      bench::LoadDbOverride(argc, argv);
+  if (override_db) {
+    RunWorkload("--db (L)", *override_db, datagen::LubmQueries());
+    RunWorkload("--db (D)", *override_db, datagen::DbpediaQueries());
+    RunWorkload("--db (B)", *override_db, datagen::BenchmarkQueries());
+    return 0;
+  }
 
   graph::GraphDatabase lubm = bench::MakeBenchLubm();
   RunWorkload("LUBM-like", lubm, datagen::LubmQueries());
@@ -62,4 +72,4 @@ int Run() {
 }  // namespace
 }  // namespace sparqlsim
 
-int main() { return sparqlsim::Run(); }
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }

@@ -9,8 +9,8 @@
 
 #include "bench/bench_table45_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return sparqlsim::bench::RunTable(
       "Table 4: full vs pruned query times, RDFox-like engine (seconds)",
-      sparqlsim::engine::JoinOrderPolicy::kRdfoxLike);
+      sparqlsim::engine::JoinOrderPolicy::kRdfoxLike, argc, argv);
 }

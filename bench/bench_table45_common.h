@@ -54,8 +54,22 @@ inline void RunPrunedVsFull(const char* dataset_name,
   }
 }
 
-inline int RunTable(const char* title, engine::JoinOrderPolicy policy) {
+/// With `--db <file.gdb>` (see LoadDbOverride) all three workloads run
+/// against the provided real database; otherwise the synthetic LUBM-like
+/// and DBpedia-like generators are used as before.
+inline int RunTable(const char* title, engine::JoinOrderPolicy policy,
+                    int argc, char** argv) {
   std::printf("%s\n", title);
+  std::optional<graph::GraphDatabase> override_db =
+      LoadDbOverride(argc, argv);
+  if (override_db) {
+    RunPrunedVsFull("--db (L)", *override_db, datagen::LubmQueries(), policy);
+    RunPrunedVsFull("--db (D)", *override_db, datagen::DbpediaQueries(),
+                    policy);
+    RunPrunedVsFull("--db (B)", *override_db, datagen::BenchmarkQueries(),
+                    policy);
+    return 0;
+  }
   graph::GraphDatabase lubm = MakeBenchLubm();
   RunPrunedVsFull("LUBM-like", lubm, datagen::LubmQueries(), policy);
   graph::GraphDatabase dbp = MakeBenchDbpedia();

@@ -8,8 +8,8 @@
 
 #include "bench/bench_table45_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   return sparqlsim::bench::RunTable(
       "Table 5: full vs pruned query times, Virtuoso-like engine (seconds)",
-      sparqlsim::engine::JoinOrderPolicy::kVirtuosoLike);
+      sparqlsim::engine::JoinOrderPolicy::kVirtuosoLike, argc, argv);
 }

@@ -1,5 +1,6 @@
 #include "graph/binary_io.h"
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -9,7 +10,10 @@ namespace sparqlsim::graph {
 
 namespace {
 
+// 7-byte format tag + 1-byte version; see docs/DATASETS.md for the spec
+// and the versioning policy.
 constexpr char kMagic[8] = {'S', 'Q', 'S', 'I', 'M', 'D', 'B', '1'};
+constexpr char kVersion = '1';
 
 void PutVarint(uint64_t value, std::ostream& out) {
   while (value >= 0x80) {
@@ -40,9 +44,19 @@ void PutString(const std::string& s, std::ostream& out) {
 bool GetString(std::istream& in, std::string* s) {
   uint64_t length = 0;
   if (!GetVarint(in, &length)) return false;
-  s->resize(length);
-  in.read(s->data(), static_cast<std::streamsize>(length));
-  return static_cast<uint64_t>(in.gcount()) == length;
+  // Read in bounded blocks: a corrupt varint length must fail at the
+  // stream's actual end instead of attempting one multi-gigabyte resize.
+  constexpr uint64_t kBlock = uint64_t{1} << 16;
+  s->clear();
+  while (length > 0) {
+    uint64_t take = length < kBlock ? length : kBlock;
+    size_t old_size = s->size();
+    s->resize(old_size + take);
+    in.read(s->data() + old_size, static_cast<std::streamsize>(take));
+    if (static_cast<uint64_t>(in.gcount()) != take) return false;
+    length -= take;
+  }
+  return true;
 }
 
 }  // namespace
@@ -89,12 +103,23 @@ util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
   char magic[8];
   in.read(magic, sizeof(magic));
   if (in.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return util::Status::Error("not a sparqlsim binary database");
+      std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0) {
+    return util::Status::Error(
+        "not a sparqlsim binary database (bad magic; expected a file "
+        "written by BinaryIo::Save / sparqlsim_ingest)");
+  }
+  if (magic[7] != kVersion) {
+    return util::Status::Error(
+        std::string("unsupported sparqlsim database version '") + magic[7] +
+        "' (this build reads version '1')");
   }
   uint64_t num_nodes = 0, num_predicates = 0;
   if (!GetVarint(in, &num_nodes) || !GetVarint(in, &num_predicates)) {
     return util::Status::Error("truncated header");
+  }
+  if (num_nodes > UINT32_MAX || num_predicates > UINT32_MAX) {
+    return util::Status::Error("corrupt header: counts exceed the 32-bit id "
+                               "space");
   }
 
   GraphDatabaseBuilder builder;

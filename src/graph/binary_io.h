@@ -13,22 +13,27 @@ namespace sparqlsim::graph {
 /// dictionaries plus, per predicate, the forward adjacency rows with
 /// delta-varint-encoded column indices (the CSR analogue of gap-length
 /// encoded bit rows). Loading is typically ~5x faster than re-parsing
-/// N-Triples and reproduces identical node/predicate ids.
+/// N-Triples and reproduces identical node/predicate ids, which is what
+/// lets `sparqlsim_ingest` pre-convert real dumps once and every bench
+/// load them via `--db`.
 ///
-/// Layout (all integers LEB128 varints):
-///   magic "SQSIMDB1"
-///   num_nodes, num_predicates
-///   nodes:      num_nodes x (length, bytes, is_literal byte)
-///   predicates: num_predicates x (length, bytes)
-///   matrices:   num_predicates x (num_rows, rows)
-///               row = (row-id delta, degree, column-id deltas)
+/// The byte-level layout (magic "SQSIMDB" + version byte, LEB128
+/// varints, delta coding) and the versioning policy are specified in
+/// docs/DATASETS.md ("Binary format SQSIMDB1").
 class BinaryIo {
  public:
+  /// Writes `db` to `out`. The encoding is a pure function of the
+  /// database content, so equal databases serialize byte-identically.
   static void Save(const GraphDatabase& db, std::ostream& out);
+  /// Writes `db` to `path`, reporting I/O failures as a Status.
   static util::Status SaveFile(const GraphDatabase& db,
                                const std::string& path);
 
+  /// Reads a database. Rejects foreign files (bad magic), files written
+  /// by a newer format version, and truncated/corrupt streams with a
+  /// descriptive error — it never relies on stream state or throws.
   static util::Result<GraphDatabase> Load(std::istream& in);
+  /// Reads a database from `path`.
   static util::Result<GraphDatabase> LoadFile(const std::string& path);
 };
 

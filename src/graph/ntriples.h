@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -8,23 +9,85 @@
 
 namespace sparqlsim::graph {
 
-/// Line-based N-Triples reader/writer.
+/// Knobs for the N-Triples loaders.
+struct NTriplesOptions {
+  /// Strict mode (default) stops at the first malformed line with a
+  /// line-numbered error. Permissive mode counts and skips malformed
+  /// lines instead — the right setting for real-world dumps, where a
+  /// handful of out-of-spec lines must not abort a multi-gigabyte load.
+  bool permissive = false;
+
+  /// Worker threads for LoadParallel (0 = all hardware threads). The
+  /// sequential Load ignores it. Results are byte-identical for every
+  /// value, including 1.
+  size_t num_threads = 0;
+
+  /// Target chunk size for LoadParallel. Chunks end on line boundaries;
+  /// the value only tunes parallel grain and peak memory (roughly
+  /// (num_threads + 1) * chunk_bytes), never the parsed result.
+  size_t chunk_bytes = size_t{8} << 20;
+};
+
+/// Counters reported by the loaders; mainly interesting in permissive mode
+/// and for the `sparqlsim_ingest --stats` report.
+struct NTriplesStats {
+  size_t lines = 0;            ///< Logical lines scanned (incl. comments).
+  size_t triples = 0;          ///< Triples handed to the builder.
+  size_t malformed_lines = 0;  ///< Lines skipped in permissive mode.
+  std::string first_error;     ///< First diagnostic ("line N: ..."), if any.
+};
+
+/// Streaming N-Triples reader/writer.
 ///
-/// Supported syntax per line: `<subject> <predicate> <object> .` where the
-/// object may alternatively be a quoted literal `"..."` (with `\"` and `\\`
-/// escapes). `#`-comment lines and blank lines are skipped. This is the
-/// interchange format for the example programs and for dumping pruned
-/// databases.
+/// The readers accept the full W3C N-Triples line grammar: IRIs
+/// (`<...>`), blank nodes (`_:label`) in subject/object position, plain,
+/// typed (`"..."^^<dt>`) and language-tagged (`"..."@en`) literals, the
+/// `\t \b \n \r \f \" \' \\` and `\uXXXX`/`\UXXXXXXXX` escapes (decoded
+/// to UTF-8), CR/LF line endings, and `#` comments (full-line or after
+/// the terminating dot). Datatype and language tags are syntax-checked
+/// and then dropped: the engine's literal universe L is untyped strings
+/// (Def. 1), so `"42"^^<xsd:int>` and `"42"` intern to the same node —
+/// see docs/DATASETS.md for the rationale.
+///
+/// This is the interchange format for the example programs, the
+/// `sparqlsim_ingest` conversion tool, and for dumping pruned databases.
 class NTriples {
  public:
-  /// Parses a stream into the builder. Stops at the first malformed line.
-  static util::Status Load(std::istream& in, GraphDatabaseBuilder* builder);
+  /// Parses a stream into the builder on the calling thread. In strict
+  /// mode, stops at the first malformed line; in permissive mode, skips
+  /// and counts it (see NTriplesOptions). `stats`, when non-null, is
+  /// filled in both modes.
+  static util::Status Load(std::istream& in, GraphDatabaseBuilder* builder,
+                           const NTriplesOptions& options = {},
+                           NTriplesStats* stats = nullptr);
 
-  /// Parses a file into the builder.
+  /// Parses a file into the builder (sequential).
   static util::Status LoadFile(const std::string& path,
-                               GraphDatabaseBuilder* builder);
+                               GraphDatabaseBuilder* builder,
+                               const NTriplesOptions& options = {},
+                               NTriplesStats* stats = nullptr);
 
-  /// Serializes all triples of `db`.
+  /// Chunked parallel parse: the stream is read in chunk_bytes-sized
+  /// pieces split on line boundaries, chunks are parsed concurrently on a
+  /// util::ThreadPool into chunk-local dictionaries, and the chunk
+  /// results are merged into `builder` in file order. The merge replays
+  /// the global first-seen interning order of the sequential Load, so the
+  /// resulting database — ids, matrices, and its BinaryIo serialization —
+  /// is byte-identical to Load's for every thread count and chunk size.
+  static util::Status LoadParallel(std::istream& in,
+                                   GraphDatabaseBuilder* builder,
+                                   const NTriplesOptions& options = {},
+                                   NTriplesStats* stats = nullptr);
+
+  /// Parallel parse of a file.
+  static util::Status LoadFileParallel(const std::string& path,
+                                       GraphDatabaseBuilder* builder,
+                                       const NTriplesOptions& options = {},
+                                       NTriplesStats* stats = nullptr);
+
+  /// Serializes all triples of `db`. Nodes named `_:...` are written as
+  /// blank nodes; literals are written with `\" \\ \n \r \t` escaped so
+  /// the output always re-parses line by line.
   static void Write(const GraphDatabase& db, std::ostream& out);
 };
 

@@ -1,0 +1,62 @@
+#pragma once
+
+// Internal line-level N-Triples grammar shared by the sequential loader
+// (ntriples.cc) and the chunked parallel loader (ntriples_parallel.cc).
+// Not part of the public API — include graph/ntriples.h instead.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sparqlsim::graph::internal {
+
+/// Syntactic category of a parsed term. Blank nodes are interned like IRI
+/// nodes (their `_:label` spelling is the dictionary name); the kind only
+/// matters for serialization and for the literal-in-subject check.
+enum class TermKind : uint8_t { kIri, kBlank, kLiteral };
+
+/// One statement, fully unescaped. For literals, `object` holds the lexical
+/// form only: datatype IRIs (`^^<...>`) and language tags (`@en`) are
+/// syntax-checked and dropped, because the engine's literal universe L is
+/// untyped strings (Def. 1).
+struct Statement {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  TermKind subject_kind = TermKind::kIri;  // kIri or kBlank
+  TermKind object_kind = TermKind::kIri;
+};
+
+enum class LineOutcome {
+  kStatement,  // *out holds a triple
+  kEmpty,      // blank line or comment
+  kError,      // *error holds a message (without a line-number prefix)
+};
+
+/// Parses one logical line. The line must not contain '\n'; a trailing
+/// '\r' (CRLF input) is tolerated and ignored. Grammar per the W3C
+/// N-Triples spec, minus the datatype/langtag retention noted above:
+///
+///   subject:   IRIREF | BLANK_NODE_LABEL
+///   predicate: IRIREF
+///   object:    IRIREF | BLANK_NODE_LABEL | STRING_LITERAL_QUOTE
+///              (with optional '^^IRIREF' or LANGTAG suffix)
+///
+/// Escapes: \t \b \n \r \f \" \' \\ in literals, \uXXXX and \UXXXXXXXX
+/// (decoded to UTF-8) in literals and IRIs. A '#' comment may follow the
+/// terminating '.'.
+LineOutcome ParseLine(std::string_view line, Statement* out,
+                      std::string* error);
+
+/// True for characters allowed in a `_:label` blank node label
+/// ([A-Za-z0-9_-], the subset this parser accepts). The writer uses it to
+/// decide whether a `_:`-prefixed node name can be emitted bare.
+bool IsBlankLabelChar(char c);
+
+/// Formats the shared "n-triples line N: ..." diagnostic. Both loaders
+/// must produce byte-equal messages for the same input (a tested
+/// contract), so the format lives in exactly one place.
+std::string LineError(size_t line_number, const std::string& what);
+
+}  // namespace sparqlsim::graph::internal

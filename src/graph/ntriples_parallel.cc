@@ -1,0 +1,276 @@
+// Chunked parallel N-Triples parsing (NTriples::LoadParallel).
+//
+// The input stream is cut into ~chunk_bytes pieces ending on line
+// boundaries. Each chunk is parsed on a util::ThreadPool into a
+// chunk-local result: a local term/predicate dictionary (distinct names in
+// chunk-first-seen order, each with the kind it first appeared as) plus
+// the chunk's statements over local ids. The calling thread then merges
+// chunk results in file order, interning each chunk's local names into the
+// global builder in their local first-seen order.
+//
+// Determinism argument: a name's global id is its position in the global
+// first-seen order. Merging chunks in file order and, within a chunk,
+// local names in chunk scan order reproduces exactly the file scan order —
+// so the merged builder state equals the sequential Load's for EVERY
+// thread count and chunk size, and the BinaryIo serialization is
+// byte-identical (tests/ntriples_test.cc and cli_ingest_test.cc enforce
+// this). Work assignment inside a wave is nondeterministic; the results
+// vector indexed by chunk position makes that invisible.
+
+#include <istream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ntriples.h"
+#include "graph/ntriples_line.h"
+#include "util/thread_pool.h"
+
+namespace sparqlsim::graph {
+
+namespace {
+
+using internal::LineOutcome;
+using internal::Statement;
+using internal::TermKind;
+
+/// Everything a worker extracts from one chunk, over chunk-local ids.
+struct ChunkResult {
+  struct Stmt {
+    uint32_t subject;
+    uint32_t predicate;
+    uint32_t object;
+    uint32_t line;  // 1-based, chunk-relative (for diagnostics)
+  };
+
+  std::vector<std::string> terms;      // distinct, chunk-first-seen order
+  std::vector<TermKind> term_kinds;    // kind at first local occurrence
+  std::vector<std::string> predicates;
+  std::vector<Stmt> statements;
+
+  size_t lines = 0;      // logical lines scanned
+  size_t malformed = 0;  // permissive mode: skipped lines
+
+  // First parse error, chunk-relative. In strict mode scanning stops
+  // here; in permissive mode it is only reported in the stats.
+  bool failed = false;
+  size_t error_line = 0;
+  std::string error;
+};
+
+/// Chunk-local interner mirroring the builder's first-seen-kind-wins
+/// semantics (InternNode / InternLiteral on an existing id never change
+/// its literal flag).
+class LocalDict {
+ public:
+  uint32_t Intern(const std::string& name, TermKind kind,
+                  std::vector<std::string>* names,
+                  std::vector<TermKind>* kinds) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(names->size());
+    names->push_back(name);
+    if (kinds != nullptr) kinds->push_back(kind);
+    index_.emplace(name, id);
+    return id;
+  }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+ChunkResult ParseChunk(std::string_view text, bool permissive) {
+  ChunkResult result;
+  LocalDict terms;
+  LocalDict predicates;
+  Statement statement;
+  std::string error;
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++result.lines;
+
+    LineOutcome outcome = internal::ParseLine(line, &statement, &error);
+    if (outcome == LineOutcome::kEmpty) continue;
+    if (outcome == LineOutcome::kError) {
+      if (!permissive) {
+        result.failed = true;
+        result.error_line = result.lines;
+        result.error = std::move(error);
+        return result;
+      }
+      ++result.malformed;
+      if (result.error.empty()) {
+        result.error_line = result.lines;
+        result.error = std::move(error);
+      }
+      error.clear();
+      continue;
+    }
+
+    // Intern in subject-predicate-object order — the same order the
+    // sequential AddTriple uses, which the merge replays globally.
+    uint32_t s = terms.Intern(statement.subject, statement.subject_kind,
+                              &result.terms, &result.term_kinds);
+    uint32_t p = predicates.Intern(statement.predicate, TermKind::kIri,
+                                   &result.predicates, nullptr);
+    uint32_t o = terms.Intern(statement.object, statement.object_kind,
+                              &result.terms, &result.term_kinds);
+    result.statements.push_back(
+        {s, p, o, static_cast<uint32_t>(result.lines)});
+  }
+  return result;
+}
+
+using internal::LineError;
+
+/// Interns one chunk's names and replays its statements into the global
+/// builder. `total->lines` on entry is the line offset of this chunk.
+util::Status MergeChunk(const ChunkResult& chunk,
+                        GraphDatabaseBuilder* builder,
+                        const NTriplesOptions& options,
+                        NTriplesStats* total) {
+  size_t base_line = total->lines;
+
+  std::vector<uint32_t> node_ids;
+  node_ids.reserve(chunk.terms.size());
+  for (size_t i = 0; i < chunk.terms.size(); ++i) {
+    node_ids.push_back(chunk.term_kinds[i] == TermKind::kLiteral
+                           ? builder->InternLiteral(chunk.terms[i])
+                           : builder->InternNode(chunk.terms[i]));
+  }
+  std::vector<uint32_t> predicate_ids;
+  predicate_ids.reserve(chunk.predicates.size());
+  for (const std::string& name : chunk.predicates) {
+    predicate_ids.push_back(builder->InternPredicate(name));
+  }
+
+  for (const ChunkResult::Stmt& stmt : chunk.statements) {
+    // In strict mode a parse error that precedes this statement must win,
+    // exactly as the line-by-line sequential loader would report it.
+    if (chunk.failed && chunk.error_line < stmt.line) break;
+
+    util::Status added = builder->AddTripleIds(
+        node_ids[stmt.subject], predicate_ids[stmt.predicate],
+        node_ids[stmt.object]);
+    if (added.ok()) {
+      ++total->triples;
+      continue;
+    }
+    // Semantic rejection (literal in subject position, Def. 1).
+    std::string diagnostic =
+        LineError(base_line + stmt.line, added.message());
+    if (!options.permissive) {
+      // Match the sequential loader's stats: lines counts up to and
+      // including the failing line.
+      total->lines = base_line + stmt.line;
+      return util::Status::Error(diagnostic);
+    }
+    ++total->malformed_lines;
+    if (total->first_error.empty() &&
+        (chunk.error.empty() || stmt.line < chunk.error_line)) {
+      total->first_error = std::move(diagnostic);
+    }
+  }
+
+  if (chunk.failed) {
+    total->lines = base_line + chunk.error_line;
+    return util::Status::Error(
+        LineError(base_line + chunk.error_line, chunk.error));
+  }
+  total->malformed_lines += chunk.malformed;
+  if (total->first_error.empty() && !chunk.error.empty()) {
+    total->first_error = LineError(base_line + chunk.error_line, chunk.error);
+  }
+  total->lines += chunk.lines;
+  return util::Status::Ok();
+}
+
+/// Reads the next chunk, ending on a line boundary except at EOF. Bytes
+/// after the last newline stay in `carry` for the next call. Returns
+/// false when the input is exhausted.
+bool NextChunk(std::istream& in, std::string* carry, size_t chunk_bytes,
+               std::string* chunk) {
+  constexpr size_t kReadBlock = size_t{1} << 20;
+  *chunk = std::move(*carry);
+  carry->clear();
+  for (;;) {
+    if (chunk->size() >= chunk_bytes) {
+      size_t newline = chunk->rfind('\n');
+      if (newline != std::string::npos) {
+        carry->assign(*chunk, newline + 1, chunk->size() - newline - 1);
+        chunk->resize(newline + 1);
+        return true;
+      }
+      // A single line longer than chunk_bytes: keep reading until its
+      // newline (or EOF) so lines never split across chunks.
+    }
+    size_t old_size = chunk->size();
+    chunk->resize(old_size + kReadBlock);
+    in.read(chunk->data() + old_size, static_cast<std::streamsize>(kReadBlock));
+    size_t got = static_cast<size_t>(in.gcount());
+    chunk->resize(old_size + got);
+    if (got == 0) return !chunk->empty();
+  }
+}
+
+}  // namespace
+
+util::Status NTriples::LoadParallel(std::istream& in,
+                                    GraphDatabaseBuilder* builder,
+                                    const NTriplesOptions& options,
+                                    NTriplesStats* stats) {
+  size_t threads = util::ThreadPool::ResolveThreadCount(options.num_threads);
+  size_t chunk_bytes = options.chunk_bytes > 0 ? options.chunk_bytes : 1;
+  if (threads <= 1) {
+    // Same result by construction; skip the pool and the chunk copies.
+    return Load(in, builder, options, stats);
+  }
+
+  util::ThreadPool pool(threads);
+  NTriplesStats total;
+  std::string carry;
+  std::vector<std::string> chunks;
+  std::vector<ChunkResult> results;
+  // One wave per pool pass: caller + workers all parse, then the caller
+  // merges in order. Peak memory ~ (threads + 1) * chunk_bytes.
+  const size_t wave_size = threads + 1;
+  bool exhausted = false;
+
+  while (!exhausted) {
+    chunks.clear();
+    while (chunks.size() < wave_size) {
+      std::string chunk;
+      if (!NextChunk(in, &carry, chunk_bytes, &chunk)) {
+        exhausted = true;
+        break;
+      }
+      chunks.push_back(std::move(chunk));
+    }
+    if (chunks.empty()) break;
+
+    results.assign(chunks.size(), ChunkResult{});
+    util::ParallelFor(&pool, chunks.size(), [&](size_t i) {
+      results[i] = ParseChunk(chunks[i], options.permissive);
+    });
+
+    for (const ChunkResult& chunk : results) {
+      util::Status merged = MergeChunk(chunk, builder, options, &total);
+      if (!merged.ok()) {
+        if (stats != nullptr) *stats = total;
+        return merged;
+      }
+    }
+  }
+
+  if (stats != nullptr) *stats = total;
+  return util::Status::Ok();
+}
+
+}  // namespace sparqlsim::graph

@@ -76,6 +76,45 @@ TEST(BinaryIoTest, RejectsGarbage) {
             std::string::npos);
 }
 
+TEST(BinaryIoTest, RejectsUnknownVersion) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::stringstream buffer;
+  BinaryIo::Save(db, buffer);
+  std::string bytes = buffer.str();
+  bytes[7] = '9';  // future format version
+  std::stringstream patched(bytes);
+  auto loaded = BinaryIo::Load(patched);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("unsupported"), std::string::npos)
+      << loaded.error_message();
+}
+
+TEST(BinaryIoTest, RejectsCorruptStringLengthWithoutAllocating) {
+  // Magic + a varint string length of ~2^62: the loader must fail with a
+  // clean Status at the stream's end, not attempt a multi-exabyte resize.
+  std::string bytes = "SQSIMDB1";
+  bytes += '\x05';  // num_nodes = 5
+  bytes += '\x01';  // num_predicates = 1
+  for (int i = 0; i < 8; ++i) bytes += '\xff';
+  bytes += '\x3f';  // 9-byte varint ~= 4.6e18 as the first name's length
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("truncated"), std::string::npos);
+}
+
+TEST(BinaryIoTest, RejectsOversizedHeaderCounts) {
+  std::string bytes = "SQSIMDB1";
+  for (int i = 0; i < 9; ++i) bytes += '\xff';
+  bytes += '\x01';  // num_nodes > 2^32
+  bytes += '\x01';  // num_predicates = 1
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("corrupt header"), std::string::npos)
+      << loaded.error_message();
+}
+
 TEST(BinaryIoTest, RejectsTruncation) {
   GraphDatabase db = datagen::MakeMovieDatabase();
   std::stringstream buffer;

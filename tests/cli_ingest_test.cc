@@ -1,0 +1,138 @@
+// End-to-end coverage of the ingestion pipeline:
+//   sparqlsim_datagen lubm  ->  .nt dump
+//   sparqlsim_ingest        ->  SQSIMDB1 binary (1 vs 8 threads, gz)
+//   sparqlsim_cli --db      ->  stats / sim over the ingested database
+// plus the determinism contract at the file level: byte-identical output
+// for every thread count and for the gzip-compressed input.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli_test_common.h"
+
+namespace sparqlsim {
+namespace {
+
+using sparqlsim_test::RunCommand;
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class CliIngestTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    int exit_code = 0;
+    RunCommand(std::string(SPARQLSIM_DATAGEN) + " lubm 1 > " + kNt,
+               &exit_code);
+    ASSERT_EQ(exit_code, 0);
+  }
+
+  static constexpr const char* kNt = "/tmp/sparqlsim_ingest_test.nt";
+};
+
+TEST_F(CliIngestTest, ThreadCountsProduceIdenticalBinaries) {
+  int exit_code = 0;
+  RunCommand(std::string(SPARQLSIM_INGEST) + " --threads 1 " + kNt +
+                 " /tmp/sparqlsim_ingest_t1.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  RunCommand(std::string(SPARQLSIM_INGEST) +
+                 " --threads 8 --chunk-mb 1 " + kNt +
+                 " /tmp/sparqlsim_ingest_t8.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  std::string t1 = ReadFileBytes("/tmp/sparqlsim_ingest_t1.gdb");
+  std::string t8 = ReadFileBytes("/tmp/sparqlsim_ingest_t8.gdb");
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t8);
+}
+
+TEST_F(CliIngestTest, GzipInputMatchesPlain) {
+  int exit_code = 0;
+  RunCommand(std::string("gzip -c ") + kNt +
+                 " > /tmp/sparqlsim_ingest_test.nt.gz",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  RunCommand(std::string(SPARQLSIM_INGEST) +
+                 " /tmp/sparqlsim_ingest_test.nt.gz "
+                 "/tmp/sparqlsim_ingest_gz.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  RunCommand(std::string(SPARQLSIM_INGEST) + " " + kNt +
+                 " /tmp/sparqlsim_ingest_plain.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  EXPECT_EQ(ReadFileBytes("/tmp/sparqlsim_ingest_gz.gdb"),
+            ReadFileBytes("/tmp/sparqlsim_ingest_plain.gdb"));
+}
+
+TEST_F(CliIngestTest, CliRunsOnIngestedDatabase) {
+  int exit_code = 0;
+  RunCommand(std::string(SPARQLSIM_INGEST) + " " + kNt +
+                 " /tmp/sparqlsim_ingest_cli.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  std::string stats = RunCommand(
+      std::string(SPARQLSIM_CLI) + " --db /tmp/sparqlsim_ingest_cli.gdb "
+                                   "stats",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(stats.find("triples:"), std::string::npos);
+
+  std::string sim = RunCommand(
+      std::string("echo 'SELECT * WHERE { ?x <rdf:type> <University> . }' | ") +
+          SPARQLSIM_CLI + " --db /tmp/sparqlsim_ingest_cli.gdb sim -",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(sim.find("?x: 1 candidates"), std::string::npos) << sim;
+}
+
+TEST_F(CliIngestTest, PermissiveModeReportsSkippedLines) {
+  const char* dirty = "/tmp/sparqlsim_ingest_dirty.nt";
+  {
+    std::ofstream out(dirty);
+    out << "<a> <p> <b> .\n"
+        << "utter garbage line\n"
+        << "<c> <p> \"l\"@en .\n";
+  }
+  int exit_code = 0;
+  // Strict mode fails...
+  RunCommand(std::string(SPARQLSIM_INGEST) + " " + dirty +
+                 " /tmp/sparqlsim_ingest_dirty.gdb",
+             &exit_code);
+  EXPECT_NE(exit_code, 0);
+  // ...permissive mode converts and counts.
+  std::string output = RunCommand(
+      std::string(SPARQLSIM_INGEST) + " --permissive --stats " + dirty +
+          " /tmp/sparqlsim_ingest_dirty.gdb",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(output.find("malformed lines:  1"), std::string::npos) << output;
+  EXPECT_NE(output.find("triples (dedup):  2"), std::string::npos) << output;
+}
+
+TEST_F(CliIngestTest, RejectsUsageErrors) {
+  int exit_code = 0;
+  RunCommand(std::string(SPARQLSIM_INGEST), &exit_code);
+  EXPECT_EQ(exit_code, 2);
+  RunCommand(std::string(SPARQLSIM_INGEST) + " --bogus a b", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+  RunCommand(std::string(SPARQLSIM_INGEST) + " /nonexistent/in.nt "
+                                             "/tmp/out.gdb",
+             &exit_code);
+  EXPECT_EQ(exit_code, 1);
+}
+
+}  // namespace
+}  // namespace sparqlsim

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Populates data/ with the benchmark datasets of docs/DATASETS.md and
+# records sha256 checksums so converted artifacts are reproducible and
+# shareable.
+#
+# Two sources, mirroring the paper's Sect. 5 setup:
+#   * LUBM(N): generated locally with sparqlsim_datagen (the repo's
+#     LUBM-like generator at paper-style scales). Fully offline.
+#   * DBpedia: a real slice is downloaded only when a URL is provided via
+#     SPARQLSIM_DBPEDIA_URL (the canonical dumps move between releases, so
+#     no URL is hard-coded); otherwise the DBpedia-like generator stands in.
+#     Downloads may be .nt or .nt.gz — sparqlsim_ingest reads both.
+#
+# Usage: tools/fetch_datasets.sh [build_dir] [data_dir]
+#
+# Env knobs (exported only if unset):
+#   SPARQLSIM_LUBM_SIZES      university counts to generate (default "1 5 20";
+#                             20 is the >= 1M-triple paper-scale dump)
+#   SPARQLSIM_DBPEDIA_SCALES  DBpedia-like generator scales (default "2")
+#   SPARQLSIM_DBPEDIA_URL     optional real DBpedia N-Triples slice URL
+#   SPARQLSIM_CONVERT         1 (default) to also ingest every .nt into the
+#                             binary .gdb format; 0 to skip
+#   SPARQLSIM_INGEST_FLAGS    extra sparqlsim_ingest flags (e.g. --permissive,
+#                             recommended for real dumps)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+DATA_DIR="${2:-$REPO_ROOT/data}"
+DATAGEN="$BUILD_DIR/sparqlsim_datagen"
+INGEST="$BUILD_DIR/sparqlsim_ingest"
+
+SPARQLSIM_LUBM_SIZES="${SPARQLSIM_LUBM_SIZES:-1 5 20}"
+SPARQLSIM_DBPEDIA_SCALES="${SPARQLSIM_DBPEDIA_SCALES:-2}"
+SPARQLSIM_DBPEDIA_URL="${SPARQLSIM_DBPEDIA_URL:-}"
+SPARQLSIM_CONVERT="${SPARQLSIM_CONVERT:-1}"
+SPARQLSIM_INGEST_FLAGS="${SPARQLSIM_INGEST_FLAGS:-}"
+
+if [[ ! -x "$DATAGEN" ]]; then
+  echo "error: $DATAGEN not built (run: cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+
+mkdir -p "$DATA_DIR"
+CHECKSUMS="$DATA_DIR/CHECKSUMS.sha256"
+: >"$CHECKSUMS.tmp"
+
+record_checksum() {
+  (cd "$DATA_DIR" && sha256sum "$(basename "$1")") >>"$CHECKSUMS.tmp"
+}
+
+convert() {
+  local nt="$1"
+  local gdb="${nt%.nt}.gdb"
+  if [[ "$SPARQLSIM_CONVERT" != "1" ]]; then
+    return 0
+  fi
+  if [[ ! -x "$INGEST" ]]; then
+    echo "[fetch_datasets] $INGEST not built, skipping conversion" >&2
+    return 0
+  fi
+  if [[ ! -f "$gdb" || "$nt" -nt "$gdb" ]]; then
+    echo "[fetch_datasets] ingesting $(basename "$nt") ..." >&2
+    # shellcheck disable=SC2086  # flags are intentionally word-split
+    "$INGEST" $SPARQLSIM_INGEST_FLAGS "$nt" "$gdb"
+  fi
+  record_checksum "$gdb"
+}
+
+# --- LUBM(N): deterministic local generation (seed fixed in datagen) -------
+for n in $SPARQLSIM_LUBM_SIZES; do
+  nt="$DATA_DIR/lubm-$n.nt"
+  if [[ ! -f "$nt" ]]; then
+    echo "[fetch_datasets] generating LUBM($n) ..." >&2
+    "$DATAGEN" lubm "$n" >"$nt.partial"
+    mv "$nt.partial" "$nt"
+  fi
+  record_checksum "$nt"
+  convert "$nt"
+done
+
+# --- DBpedia: real slice when a URL is given, generator otherwise ----------
+if [[ -n "$SPARQLSIM_DBPEDIA_URL" ]]; then
+  base="$(basename "$SPARQLSIM_DBPEDIA_URL")"
+  target="$DATA_DIR/$base"
+  if [[ ! -f "$target" ]]; then
+    echo "[fetch_datasets] downloading $SPARQLSIM_DBPEDIA_URL ..." >&2
+    if command -v curl >/dev/null; then
+      curl -L --fail -o "$target.partial" "$SPARQLSIM_DBPEDIA_URL"
+    elif command -v wget >/dev/null; then
+      wget -O "$target.partial" "$SPARQLSIM_DBPEDIA_URL"
+    else
+      echo "error: neither curl nor wget available" >&2
+      exit 1
+    fi
+    mv "$target.partial" "$target"
+  fi
+  record_checksum "$target"
+  if [[ "$target" == *.nt ]]; then
+    convert "$target"
+  elif [[ "$SPARQLSIM_CONVERT" == "1" && -x "$INGEST" ]]; then
+    gdb="$DATA_DIR/${base%%.nt.gz}.gdb"
+    if [[ ! -f "$gdb" || "$target" -nt "$gdb" ]]; then
+      echo "[fetch_datasets] ingesting $base ..." >&2
+      # shellcheck disable=SC2086
+      "$INGEST" $SPARQLSIM_INGEST_FLAGS "$target" "$gdb"
+    fi
+    record_checksum "$gdb"
+  fi
+else
+  for scale in $SPARQLSIM_DBPEDIA_SCALES; do
+    nt="$DATA_DIR/dbpedia-like-$scale.nt"
+    if [[ ! -f "$nt" ]]; then
+      echo "[fetch_datasets] generating DBpedia-like(scale=$scale) ..." >&2
+      "$DATAGEN" dbpedia "$scale" >"$nt.partial"
+      mv "$nt.partial" "$nt"
+    fi
+    record_checksum "$nt"
+    convert "$nt"
+  done
+fi
+
+sort -k2 "$CHECKSUMS.tmp" >"$CHECKSUMS"
+rm -f "$CHECKSUMS.tmp"
+echo "[fetch_datasets] datasets ready in $DATA_DIR" >&2
+ls -l "$DATA_DIR" >&2

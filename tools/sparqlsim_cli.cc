@@ -17,6 +17,9 @@
 //                 for every value.
 //   --no-cache    disable the SimEngine SOI/solution caches (--cache
 //                 re-enables; on by default).
+//   --db FILE     read the database from a binary SQSIMDB1 file (as written
+//                 by sparqlsim_ingest or `convert`) and drop the positional
+//                 <data> argument: `sparqlsim --db lubm.gdb stats`.
 //
 // Databases load from N-Triples (.nt) or the binary format (.gdb).
 // Queries are read from a file or stdin ("-"). Example:
@@ -43,6 +46,7 @@
 #include "sparql/ast.h"
 #include "sparql/parser.h"
 #include "sparql/printer.h"
+#include "tool_common.h"
 #include "util/stopwatch.h"
 
 namespace sparqlsim {
@@ -51,22 +55,23 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
-               "<stats|query|prune|sim|bench> <data.nt> "
-               "[query.rq|-] [out.nt]\n");
+               "[--db file.gdb] "
+               "<stats|query|prune|sim|bench|explain|convert> "
+               "[data.nt] [query.rq|-] [out.nt]\n"
+               "       (the positional data argument is omitted when "
+               "--db is given)\n");
   return 2;
 }
 
-bool HasSuffix(const char* path, const char* suffix) {
-  size_t path_length = std::strlen(path);
-  size_t suffix_length = std::strlen(suffix);
-  return path_length >= suffix_length &&
-         std::strcmp(path + path_length - suffix_length, suffix) == 0;
-}
+using tools::HasSuffix;
 
-std::optional<graph::GraphDatabase> LoadDatabase(const char* path) {
+/// Loads N-Triples or binary by suffix; `force_binary` (the --db flag's
+/// behavior) always reads the SQSIMDB1 format regardless of suffix.
+std::optional<graph::GraphDatabase> LoadDatabase(const char* path,
+                                                 bool force_binary = false) {
   util::Stopwatch watch;
   std::optional<graph::GraphDatabase> db;
-  if (HasSuffix(path, ".gdb")) {
+  if (force_binary || HasSuffix(path, ".gdb")) {
     auto loaded = graph::BinaryIo::LoadFile(path);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error loading %s: %s\n", path,
@@ -231,6 +236,7 @@ int Run(int argc, char** argv) {
   // positional: <command> <data> [query] [out].
   sim::SolverOptions options;
   options.num_threads = 0;  // CLI default: all hardware threads
+  const char* db_path = nullptr;
   std::vector<const char*> args;
   auto parse_threads = [&](const char* text) {
     char* end = nullptr;
@@ -251,6 +257,15 @@ int Run(int argc, char** argv) {
       if (!parse_threads(argv[i] + 10)) return Usage();
       continue;
     }
+    if (std::strcmp(argv[i], "--db") == 0) {
+      if (i + 1 >= argc) return Usage();
+      db_path = argv[++i];
+      continue;
+    }
+    if (std::strncmp(argv[i], "--db=", 5) == 0) {
+      db_path = argv[i] + 5;
+      continue;
+    }
     if (std::strcmp(argv[i], "--cache") == 0) {
       options.cache_sois = options.cache_solutions = true;
       continue;
@@ -262,35 +277,46 @@ int Run(int argc, char** argv) {
     args.push_back(argv[i]);
   }
 
-  if (args.size() < 2) return Usage();
+  if (args.empty()) return Usage();
   const char* command = args[0];
 
-  std::optional<graph::GraphDatabase> loaded = LoadDatabase(args[1]);
+  // With --db the database comes from the flag and every positional after
+  // the command shifts left by one.
+  std::optional<graph::GraphDatabase> loaded;
+  size_t next = 1;
+  if (db_path != nullptr) {
+    loaded = LoadDatabase(db_path, /*force_binary=*/true);
+  } else {
+    if (args.size() < 2) return Usage();
+    loaded = LoadDatabase(args[1]);
+    next = 2;
+  }
   if (!loaded) return 1;
   const graph::GraphDatabase& db = *loaded;
 
   if (std::strcmp(command, "stats") == 0) return CmdStats(db);
   if (std::strcmp(command, "convert") == 0) {
-    if (args.size() < 3) return Usage();
-    util::Status status = graph::BinaryIo::SaveFile(db, args[2]);
+    if (args.size() < next + 1) return Usage();
+    util::Status status = graph::BinaryIo::SaveFile(db, args[next]);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.message().c_str());
       return 1;
     }
-    std::fprintf(stderr, "written %s\n", args[2]);
+    std::fprintf(stderr, "written %s\n", args[next]);
     return 0;
   }
 
-  if (args.size() < 3) return Usage();
+  if (args.size() < next + 1) return Usage();
   sparql::Query query;
-  if (!ReadQuery(args[2], &query)) return 1;
+  if (!ReadQuery(args[next], &query)) return 1;
 
   if (std::strcmp(command, "query") == 0) return CmdQuery(db, query);
 
   sim::SimEngine engine(&db, options);
   if (std::strcmp(command, "sim") == 0) return CmdSim(engine, query);
   if (std::strcmp(command, "prune") == 0) {
-    return CmdPrune(engine, query, args.size() > 3 ? args[3] : nullptr);
+    return CmdPrune(engine, query,
+                    args.size() > next + 1 ? args[next + 1] : nullptr);
   }
   if (std::strcmp(command, "bench") == 0) return CmdBench(engine, query);
   if (std::strcmp(command, "explain") == 0) {

@@ -1,0 +1,16 @@
+// Small helpers shared by the command-line tools.
+#pragma once
+
+#include <string_view>
+
+namespace sparqlsim::tools {
+
+/// True when `path` ends with `suffix` — the tools' format-dispatch
+/// primitive (".gdb" → binary, ".gz" → gzip pipe, anything else →
+/// N-Triples text).
+inline bool HasSuffix(std::string_view path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.substr(path.size() - suffix.size()) == suffix;
+}
+
+}  // namespace sparqlsim::tools
