@@ -1,0 +1,188 @@
+// Throughput bench for the QueryService front end: a fixed mix of
+// benchmark queries (with duplicates, so dedup and the solution cache get
+// real work) is submitted concurrently at 1/2/4/... service workers, and
+// the interesting numbers are queries/second, coalescing, and cache
+// economics under a bounded LRU.
+//
+// Every report is checked bit-identical against a sequential, cache-free
+// SimEngine::Prune of the same query — the service must never trade
+// correctness for throughput. Set SPARQLSIM_BENCH_JSON=<path> to archive
+// numbers as JSON (tools/run_benches.sh does).
+//
+// Knobs: SPARQLSIM_SERVICE_QUERIES (mix size, default 48),
+//        SPARQLSIM_SERVICE_QUEUE_DEPTH (default 16),
+//        SPARQLSIM_SERVICE_CACHE_CAPACITY (default 32, 0 = unbounded),
+//        --db <file.gdb> / SPARQLSIM_DB for a real ingested database.
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/query_service.h"
+#include "sim/sim_engine.h"
+#include "sparql/normalize.h"
+#include "util/stopwatch.h"
+
+namespace sparqlsim {
+namespace {
+
+/// The submission mix: every parseable benchmark query, cycled until
+/// `count` entries. Cycling guarantees duplicates once count exceeds the
+/// distinct pool — the service's dedup/cache workload.
+std::vector<sparql::Query> MakeMix(size_t count) {
+  std::vector<sparql::Query> pool;
+  for (const auto& [id, text] : datagen::BenchmarkQueries()) {
+    sparql::Query q = bench::ParseOrDie(text);
+    if (q.where->NumTriples() > 0) pool.push_back(std::move(q));
+  }
+  for (const auto& [id, text] : datagen::DbpediaQueries()) {
+    sparql::Query q = bench::ParseOrDie(text);
+    if (q.where->NumTriples() > 0) pool.push_back(std::move(q));
+  }
+  std::vector<sparql::Query> mix;
+  mix.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    mix.push_back(pool[i % pool.size()].Clone());
+  }
+  return mix;
+}
+
+struct Sample {
+  size_t workers = 0;
+  double seconds = 0;
+  double qps = 0;
+  size_t executed = 0;
+  size_t coalesced = 0;
+  size_t solution_hits = 0;
+  size_t lru_evictions = 0;
+};
+
+int Run(int argc, char** argv) {
+  std::printf("QueryService throughput (bounded admission + LRU cache)\n");
+  std::optional<graph::GraphDatabase> override_db =
+      bench::LoadDbOverride(argc, argv);
+  graph::GraphDatabase db =
+      override_db ? std::move(*override_db) : bench::MakeBenchDbpedia();
+
+  const size_t count = bench::EnvSize("SPARQLSIM_SERVICE_QUERIES", 48);
+  const size_t queue_depth =
+      bench::EnvSize("SPARQLSIM_SERVICE_QUEUE_DEPTH", 16);
+  const size_t cache_capacity =
+      bench::EnvSize("SPARQLSIM_SERVICE_CACHE_CAPACITY", 32);
+  std::vector<sparql::Query> mix = MakeMix(count);
+
+  // Sequential ground truth, keyed by canonical pattern (the mix repeats
+  // queries; one reference solve per distinct pattern).
+  sim::SolverOptions plain;
+  plain.num_threads = 1;
+  plain.cache_sois = false;
+  plain.cache_solutions = false;
+  sim::SimEngine reference_engine(&db, plain);
+  std::map<std::string, sim::PruneReport> reference;
+  for (const sparql::Query& q : mix) {
+    std::string key = sparql::CanonicalPatternKey(*q.where);
+    if (!reference.count(key)) {
+      reference.emplace(key, reference_engine.Prune(q));
+    }
+  }
+
+  std::vector<size_t> worker_counts = {1, 2, 4};
+  size_t hw = util::ThreadPool::ResolveThreadCount(0);
+  if (hw > 4) worker_counts.push_back(hw);
+
+  std::printf("  mix: %zu submissions, %zu distinct patterns, queue depth "
+              "%zu, cache capacity %zu\n",
+              mix.size(), reference.size(), queue_depth, cache_capacity);
+  std::printf("  %-8s %10s %10s %9s %10s %10s %9s\n", "workers", "time(s)",
+              "q/s", "executed", "coalesced", "sol.hits", "lru.evict");
+
+  std::vector<Sample> samples;
+  for (size_t workers : worker_counts) {
+    sim::QueryServiceOptions options;
+    options.num_workers = workers;
+    options.queue_depth = queue_depth;
+    options.cache_capacity = cache_capacity;
+    sim::QueryService service(&db, options);
+
+    util::Stopwatch watch;
+    std::vector<std::future<sim::PruneReport>> futures;
+    futures.reserve(mix.size());
+    for (const sparql::Query& q : mix) futures.push_back(service.Submit(q));
+    std::vector<sim::PruneReport> reports;
+    reports.reserve(mix.size());
+    for (auto& f : futures) reports.push_back(f.get());
+    double seconds = watch.ElapsedSeconds();
+
+    // Correctness gate: concurrent == sequential, bit for bit.
+    for (size_t i = 0; i < mix.size(); ++i) {
+      const sim::PruneReport& want =
+          reference.at(sparql::CanonicalPatternKey(*mix[i].where));
+      if (reports[i].kept_triples != want.kept_triples ||
+          reports[i].var_candidates != want.var_candidates) {
+        std::fprintf(stderr,
+                     "FATAL: query %zu differs from sequential at %zu "
+                     "workers\n",
+                     i, workers);
+        std::abort();
+      }
+    }
+
+    sim::QueryService::Stats stats = service.stats();
+    Sample s;
+    s.workers = workers;
+    s.seconds = seconds;
+    s.qps = seconds > 0 ? static_cast<double>(mix.size()) / seconds : 0.0;
+    s.executed = stats.executed;
+    s.coalesced = stats.coalesced;
+    s.solution_hits = stats.cache.solution_hits;
+    s.lru_evictions =
+        stats.cache.soi_evictions + stats.cache.solution_evictions;
+    samples.push_back(s);
+    std::printf("  %-8zu %10.5f %10.1f %9zu %10zu %10zu %9zu\n", workers,
+                seconds, s.qps, s.executed, s.coalesced, s.solution_hits,
+                s.lru_evictions);
+  }
+
+  FILE* out = stdout;
+  const char* json_path = std::getenv("SPARQLSIM_BENCH_JSON");
+  if (json_path != nullptr) {
+    out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+  }
+  std::fprintf(out, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out,
+               "  \"mix\": {\"submissions\": %zu, \"distinct\": %zu, "
+               "\"queue_depth\": %zu, \"cache_capacity\": %zu},\n",
+               mix.size(), reference.size(), queue_depth, cache_capacity);
+  std::fprintf(out, "  \"samples\": [");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "%s\n    {\"workers\": %zu, \"seconds\": %.6f, "
+                 "\"qps\": %.2f, \"executed\": %zu, \"coalesced\": %zu, "
+                 "\"solution_hits\": %zu, \"lru_evictions\": %zu}",
+                 i == 0 ? "" : ",", s.workers, s.seconds, s.qps, s.executed,
+                 s.coalesced, s.solution_hits, s.lru_evictions);
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "[bench] JSON written to %s\n", json_path);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sparqlsim
+
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }

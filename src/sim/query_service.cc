@@ -1,0 +1,131 @@
+#include "sim/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sparql/normalize.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+/// The service decides the cache lifecycle itself: one database per
+/// service, so stale generations are dead weight (generation GC on) and
+/// the entry count is bounded by the configured capacity.
+std::shared_ptr<SoiCache> MakeServiceCache(const QueryServiceOptions& options) {
+  if (!options.solver.cache_sois && !options.solver.cache_solutions) {
+    return nullptr;
+  }
+  return std::make_shared<SoiCache>(
+      SoiCache::Options{options.cache_capacity, /*generation_gc=*/true});
+}
+
+}  // namespace
+
+QueryService::QueryService(const graph::GraphDatabase* db,
+                           QueryServiceOptions options)
+    : options_(std::move(options)),
+      engine_(db, options_.solver, MakeServiceCache(options_)),
+      gate_(options_.queue_depth),
+      pool_(std::make_unique<util::ThreadPool>(options_.num_workers)) {}
+
+QueryService::~QueryService() {
+  // Joining the workers completes every admitted query (the pool drains its
+  // queue on destruction), so all outstanding futures get settled.
+  pool_.reset();
+}
+
+std::future<PruneReport> QueryService::Submit(const sparql::Query& query) {
+  const std::string key = sparql::CanonicalPatternKey(*query.where);
+  std::promise<PruneReport> promise;
+  std::future<PruneReport> future = promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++submitted_;
+    auto it = in_flight_.find(key);
+    if (it != in_flight_.end()) {
+      ++coalesced_;
+      it->second->waiters.push_back(std::move(promise));
+      return future;
+    }
+  }
+
+  // New work: take an admission slot. This is the backpressure point — it
+  // blocks while queue_depth queries are in flight, and must happen outside
+  // the map lock so coalescing submissions and finishing workers proceed.
+  gate_.Acquire();
+
+  auto owned = std::make_shared<const sparql::Query>(query.Clone());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Someone may have admitted the same key while we waited for the slot.
+    auto [it, inserted] = in_flight_.try_emplace(key);
+    if (!inserted) {
+      ++coalesced_;
+      it->second->waiters.push_back(std::move(promise));
+      gate_.Release();
+      return future;
+    }
+    it->second = std::make_shared<InFlight>();
+    it->second->waiters.push_back(std::move(promise));
+    peak_in_flight_ = std::max(peak_in_flight_, gate_.InUse());
+  }
+  pool_->Submit([this, key, owned] { RunQuery(key, owned); });
+  return future;
+}
+
+void QueryService::RunQuery(const std::string& key,
+                            std::shared_ptr<const sparql::Query> query) {
+  if (options_.solve_hook) options_.solve_hook();
+  PruneReport report = engine_.Prune(*query);
+
+  std::vector<std::promise<PruneReport>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = in_flight_.find(key);
+    waiters = std::move(it->second->waiters);
+    in_flight_.erase(it);
+    ++executed_;
+  }
+  // Slot freed before settling the promises: a waiter that immediately
+  // resubmits the same query must find the map entry gone (fresh solve),
+  // and a producer blocked in Acquire should not wait on promise fan-out.
+  gate_.Release();
+
+  for (size_t i = 0; i + 1 < waiters.size(); ++i) {
+    waiters[i].set_value(report);
+  }
+  waiters.back().set_value(std::move(report));
+}
+
+std::vector<PruneReport> QueryService::SubmitBatch(
+    const std::vector<sparql::Query>& queries) {
+  std::vector<std::future<PruneReport>> futures;
+  futures.reserve(queries.size());
+  for (const sparql::Query& query : queries) futures.push_back(Submit(query));
+  std::vector<PruneReport> reports;
+  reports.reserve(queries.size());
+  for (std::future<PruneReport>& f : futures) reports.push_back(f.get());
+  return reports;
+}
+
+void QueryService::Drain() { gate_.WaitIdle(); }
+
+QueryService::Stats QueryService::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.submitted = submitted_;
+    out.executed = executed_;
+    out.coalesced = coalesced_;
+    out.peak_in_flight = peak_in_flight_;
+  }
+  if (const SoiCache* cache = engine_.cache()) {
+    out.cache = cache->stats();
+    out.cached_sois = cache->NumSois();
+    out.cached_solutions = cache->NumSolutions();
+  }
+  return out;
+}
+
+}  // namespace sparqlsim::sim

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "sim/sim_engine.h"
+#include "sim/soi_cache.h"
+#include "sim/solver.h"
+#include "sparql/ast.h"
+#include "util/admission_gate.h"
+#include "util/thread_pool.h"
+
+namespace sparqlsim::sim {
+
+struct QueryServiceOptions {
+  /// Service worker threads executing whole queries (query-level
+  /// parallelism); 0 = hardware concurrency. Intra-query parallelism is a
+  /// separate knob: `solver.num_threads` (default 1 keeps each query on its
+  /// worker, the right shape for a loaded server).
+  size_t num_workers = 0;
+
+  /// Max queries admitted but not yet completed. Submit blocks once the
+  /// bound is reached — backpressure instead of unbounded queue growth.
+  /// Coalesced duplicates ride along without consuming a slot. 0 is
+  /// clamped to 1.
+  size_t queue_depth = 64;
+
+  /// Entry bound of the service's SoiCache (0 = unbounded); an entry is
+  /// one SOI plus, once solved, its attached solution.
+  size_t cache_capacity = 0;
+
+  /// Per-query solver policy; `cache_sois`/`cache_solutions` toggle the
+  /// service cache as for a plain SimEngine.
+  SolverOptions solver;
+
+  /// Test seam: invoked on the worker thread immediately before a query is
+  /// solved. Lets tests pin a worker mid-flight to observe deterministic
+  /// coalescing/backpressure. Null in production.
+  std::function<void()> solve_hook;
+};
+
+/// The async front end above SimEngine: accepts queries from any thread,
+/// runs them on an owned util::ThreadPool behind a bounded admission queue,
+/// and deduplicates in-flight identical queries.
+///
+///   Submit(query)  ->  std::future<PruneReport>
+///
+/// Identity for deduplication is sparql::CanonicalPatternKey of the WHERE
+/// pattern: two submissions whose patterns are canonically equal while the
+/// first is still in flight share one solve, and every waiter receives the
+/// full PruneReport (the report depends only on the pattern, so this is
+/// exact, not approximate). After the in-flight entry completes, the next
+/// identical submission admits a fresh solve — which then typically ends in
+/// the SoiCache's solution layer instead of solver work.
+///
+/// Determinism: every query solves through one shared SimEngine whose
+/// results are bit-identical for any thread count, and concurrent queries
+/// share only the immutable database and the mutex-guarded SoiCache (whose
+/// contents never change a result, only whether it is recomputed). A
+/// concurrent submission mix therefore yields reports bit-identical to a
+/// sequential SimEngine::Prune of the same queries, for any worker count,
+/// queue depth, or cache capacity — tests/query_service_test.cc holds this
+/// under TSan.
+///
+/// Thread-safety: all public methods may be called from any thread. The
+/// destructor drains in-flight queries; do not race it against Submit.
+class QueryService {
+ public:
+  struct Stats {
+    /// Submissions accepted (Submit calls; SubmitBatch counts each query).
+    size_t submitted = 0;
+    /// Queries actually solved on a worker.
+    size_t executed = 0;
+    /// Submissions answered by attaching to an in-flight duplicate.
+    /// submitted == executed + coalesced once drained.
+    size_t coalesced = 0;
+    /// High-water mark of admitted-but-unfinished queries (bounded by
+    /// queue_depth).
+    size_t peak_in_flight = 0;
+    /// Service cache snapshot (zero-valued when caching is off).
+    SoiCache::Stats cache;
+    size_t cached_sois = 0;
+    size_t cached_solutions = 0;
+  };
+
+  /// Binds the service to `db` (borrowed; must outlive the service).
+  explicit QueryService(const graph::GraphDatabase* db,
+                        QueryServiceOptions options = {});
+  /// Drains: blocks until every admitted query has completed.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query. Blocks while queue_depth queries are in flight
+  /// (unless the query coalesces onto an in-flight duplicate). The future
+  /// never carries an exception.
+  std::future<PruneReport> Submit(const sparql::Query& query);
+
+  /// Submits all queries (concurrently, subject to the admission bound) and
+  /// blocks for the results, returned in submission order.
+  std::vector<PruneReport> SubmitBatch(
+      const std::vector<sparql::Query>& queries);
+
+  /// Blocks until no query is in flight.
+  void Drain();
+
+  Stats stats() const;
+  const QueryServiceOptions& options() const { return options_; }
+  const SimEngine& engine() const { return engine_; }
+
+ private:
+  struct InFlight {
+    std::vector<std::promise<PruneReport>> waiters;
+  };
+
+  /// Worker-side: solve, then settle every waiter of `key`.
+  void RunQuery(const std::string& key,
+                std::shared_ptr<const sparql::Query> query);
+
+  QueryServiceOptions options_;
+  SimEngine engine_;
+  util::AdmissionGate gate_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
+  size_t submitted_ = 0;
+  size_t executed_ = 0;
+  size_t coalesced_ = 0;
+  size_t peak_in_flight_ = 0;
+
+  /// Declared last: destroyed first, which joins the workers while every
+  /// member they touch is still alive.
+  std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace sparqlsim::sim

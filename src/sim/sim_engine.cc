@@ -17,7 +17,10 @@ SimEngine::SimEngine(const graph::GraphDatabase* db, SolverOptions options,
     pool_ = std::make_unique<util::ThreadPool>(options_.ResolvedThreads());
   }
   if (cache_ == nullptr && (options_.cache_sois || options_.cache_solutions)) {
-    cache_ = std::make_shared<SoiCache>();
+    // A private cache serves exactly one database, so stale generations can
+    // never be read again; generation GC keeps them from pinning memory.
+    cache_ = std::make_shared<SoiCache>(
+        SoiCache::Options{options_.cache_capacity, /*generation_gc=*/true});
   }
 }
 
@@ -35,7 +38,9 @@ SimEngine::BranchOutcome SimEngine::ProcessBranch(
   // may number their SOI variables differently (construction follows triple
   // order, the key does not), so a cached Solution is only meaningful
   // against the cached SOI instance it was solved on — never against a
-  // freshly built one. Truncated runs (max_rounds != 0) are not the
+  // freshly built one. SoiCache enforces the pairing itself (solution
+  // lookups carry the SOI instance), but without the SOI layer there is no
+  // instance to pair against. Truncated runs (max_rounds != 0) are not the
   // canonical fixpoint and also bypass the layer.
   const bool cache_solutions = cache_sois && options_.cache_solutions &&
                                options_.max_rounds == 0;
@@ -57,14 +62,14 @@ SimEngine::BranchOutcome SimEngine::ProcessBranch(
   }
 
   if (cache_solutions) {
-    out.solution = cache_->FindSolution(generation, key);
+    out.solution = cache_->FindSolution(generation, key, out.soi.get());
     out.solution_from_cache = out.solution != nullptr;
   }
   if (out.solution == nullptr) {
     Solution solved = Solve(*out.soi);
     if (cache_solutions) {
-      out.solution =
-          cache_->InsertSolution(generation, key, std::move(solved));
+      out.solution = cache_->InsertSolution(generation, key, out.soi.get(),
+                                            std::move(solved));
     } else {
       out.solution = std::make_shared<const Solution>(std::move(solved));
     }

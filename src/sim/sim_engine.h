@@ -63,13 +63,24 @@ struct PruneReport {
 /// `num_threads`; see SolveSoi.
 ///
 /// Caching: unless a shared cache is injected, the engine creates a private
-/// SoiCache when either cache toggle is set. Entries are keyed by database
-/// generation + canonical branch key, so a shared cache may safely serve
-/// engines bound to different databases (each sees only its own entries).
+/// SoiCache when either cache toggle is set — bounded by
+/// `options.cache_capacity` LRU entries and with generation GC on
+/// (a private cache serves exactly one database). Entries are keyed by
+/// database generation + canonical branch key, so a shared cache may safely
+/// serve engines bound to different databases (each sees only its own
+/// entries; leave generation GC off for that sharing pattern).
 ///
-/// Thread-safety: the engine itself is safe to use from the thread that
-/// owns it; issue concurrent work *through* it (branch batching, parallel
-/// rounds), not by calling it from multiple threads.
+/// For concurrent multi-query serving on top of the engine, see
+/// sim::QueryService (bounded admission queue + in-flight dedup).
+///
+/// Thread-safety: Solve/SolvePattern/Prune are const and safe to call
+/// concurrently from multiple threads — a contract QueryService relies on
+/// (its pool workers all Prune through one shared engine). Concurrent
+/// calls share only the immutable database, the internally synchronized
+/// SoiCache, and the ThreadPool (whose Submit is locked and whose
+/// ParallelFor keeps per-call state, so overlapping callers are fine).
+/// Keep it that way: any new per-solve state must live on the stack of
+/// the call, not in engine members.
 class SimEngine {
  public:
   explicit SimEngine(const graph::GraphDatabase* db,

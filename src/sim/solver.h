@@ -54,6 +54,12 @@ struct SolverOptions {
   bool cache_sois = true;
   bool cache_solutions = true;
 
+  /// Entry bound of the cache a SimEngine creates privately (0 =
+  /// unbounded); each entry holds one SOI and, once solved, its attached
+  /// solution. Ignored when a shared cache is injected — the injected
+  /// cache carries its own SoiCache::Options.
+  size_t cache_capacity = 0;
+
   /// `num_threads` with the 0-means-hardware convention applied.
   size_t ResolvedThreads() const {
     return util::ThreadPool::ResolveThreadCount(num_threads);

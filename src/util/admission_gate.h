@@ -1,0 +1,73 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace sparqlsim::util {
+
+/// A counting gate that bounds how many units of work are admitted but not
+/// yet finished. This is the backpressure primitive of the query-service
+/// layer: producers block in Acquire() once `limit` units are in flight,
+/// instead of growing an unbounded queue, and consumers Release() as work
+/// completes. WaitIdle() is the matching drain barrier.
+///
+/// Deliberately not a semaphore initialized to `limit`: the gate also knows
+/// when it is *idle* (nothing admitted), which a counting semaphore cannot
+/// express without a second primitive.
+class AdmissionGate {
+ public:
+  /// `limit` = max units in flight; 0 is clamped to 1 (a gate that admits
+  /// nothing would deadlock its first producer).
+  explicit AdmissionGate(size_t limit) : limit_(limit == 0 ? 1 : limit) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Blocks until a slot is free, then takes it.
+  void Acquire() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return in_use_ < limit_; });
+    ++in_use_;
+  }
+
+  /// Takes a slot iff one is free right now.
+  bool TryAcquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_use_ >= limit_) return false;
+    ++in_use_;
+    return true;
+  }
+
+  /// Returns a slot taken by Acquire()/TryAcquire().
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_use_;
+    }
+    // Wake both blocked producers (slot free) and drain waiters (maybe
+    // idle); the predicates sort out who proceeds.
+    cv_.notify_all();
+  }
+
+  /// Blocks until no slot is in use.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return in_use_ == 0; });
+  }
+
+  size_t InUse() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+  }
+
+  size_t limit() const { return limit_; }
+
+ private:
+  const size_t limit_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t in_use_ = 0;
+};
+
+}  // namespace sparqlsim::util

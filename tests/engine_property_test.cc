@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "datagen/random_graphs.h"
 #include "engine/evaluator.h"
+#include "sim/sim_engine.h"
+#include "sim/soi_cache.h"
 #include "sparql/parser.h"
 #include "util/rng.h"
 
@@ -219,6 +223,121 @@ std::vector<PropertyCase> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineVsOracle,
                          ::testing::ValuesIn(MakeCases()));
+
+// ---------------------------------------------------------------------------
+// Cache-consistency property: cached vs cache-free pruning agree across
+// interleaved database "mutations" (Restrict() generation bumps)
+// ---------------------------------------------------------------------------
+
+/// Random query text over the p0/p1/p2, n0..n{k-1} universe of
+/// MakeRandomDatabase: BGPs, OPTIONAL, and UNION shapes.
+std::string RandomPruneQuery(util::Rng& rng, size_t num_nodes) {
+  auto var = [&](int k) { return "?v" + std::to_string(rng.NextBounded(k)); };
+  auto triple = [&](int k) {
+    std::string p = "<p" + std::to_string(rng.NextBounded(3)) + ">";
+    std::string s =
+        rng.NextBool(0.2)
+            ? "<n" + std::to_string(rng.NextBounded(num_nodes)) + ">"
+            : var(k);
+    return s + " " + p + " " + var(k) + " . ";
+  };
+  std::string text = "SELECT * WHERE { ";
+  switch (rng.NextBounded(3)) {
+    case 0:
+      text += triple(3) + triple(3);
+      break;
+    case 1:
+      text += triple(2) + "OPTIONAL { " + triple(3) + "} ";
+      break;
+    default:
+      text += "{ " + triple(2) + "} UNION { " + triple(2) + "} ";
+      break;
+  }
+  return text + "}";
+}
+
+void ExpectSamePrune(const sim::PruneReport& cached,
+                     const sim::PruneReport& plain,
+                     const std::string& context) {
+  EXPECT_EQ(cached.kept_triples, plain.kept_triples) << context;
+  ASSERT_EQ(cached.var_candidates.size(), plain.var_candidates.size())
+      << context;
+  for (const auto& [var, bits] : plain.var_candidates) {
+    auto it = cached.var_candidates.find(var);
+    ASSERT_NE(it, cached.var_candidates.end()) << context << " ?" << var;
+    EXPECT_EQ(it->second, bits) << context << " ?" << var;
+  }
+}
+
+class CacheConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CacheConsistency, CachedAndUncachedPruningAgreeAcrossGenerations) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed * 131 + 7);
+
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 30;
+  config.num_edges = 120;
+  config.num_labels = 3;
+  config.seed = seed;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  // The nastiest cache configuration: tiny LRU capacity (evictions mid-run)
+  // plus eager generation GC, shared across every engine below.
+  auto cache =
+      std::make_shared<sim::SoiCache>(sim::SoiCache::Options{3, true});
+
+  // A small pool of query texts reused across steps, so later steps replay
+  // queries whose entries were cached against earlier (now stale)
+  // generations.
+  std::vector<sparql::Query> pool;
+  for (int q = 0; q < 5; ++q) {
+    auto parsed =
+        sparql::Parser::Parse(RandomPruneQuery(rng, config.num_nodes));
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    pool.push_back(std::move(parsed).value());
+  }
+
+  sim::SolverOptions no_cache;
+  no_cache.cache_sois = false;
+  no_cache.cache_solutions = false;
+
+  for (int step = 0; step < 3; ++step) {
+    sim::SimEngine cached_engine(&db, sim::SolverOptions{}, cache);
+    sim::SimEngine plain_engine(&db, no_cache);
+    // Each query twice: the second run hits whatever the first cached.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t q = 0; q < pool.size(); ++q) {
+        ExpectSamePrune(cached_engine.Prune(pool[q]),
+                        plain_engine.Prune(pool[q]),
+                        "seed " + std::to_string(seed) + " step " +
+                            std::to_string(step) + " pass " +
+                            std::to_string(pass) + " query " +
+                            std::to_string(q));
+      }
+    }
+
+    // Mutate the database: keep a random ~85% of the triples. Restrict()
+    // assigns a fresh generation, which must invalidate every cached
+    // artifact of the old one.
+    std::vector<graph::Triple> kept;
+    for (const graph::Triple& t : db.AllTriples()) {
+      if (!rng.NextBool(0.15)) kept.push_back(t);
+    }
+    uint64_t old_generation = db.generation();
+    db = db.Restrict(kept);
+    ASSERT_NE(db.generation(), old_generation);
+  }
+
+  // The shared bounded cache honored its capacity throughout.
+  EXPECT_LE(cache->NumSois(), 3u);
+  EXPECT_LE(cache->NumSolutions(), 3u);
+  // Generation GC actually fired: step 1+ queries carry newer generations.
+  EXPECT_GT(cache->stats().generation_evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheConsistency,
+                         ::testing::Range<uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace sparqlsim::engine

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "util/admission_gate.h"
 #include "util/gap_codec.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -46,6 +50,71 @@ TEST(GapCodecTest, RandomRoundTrips) {
     }
     EXPECT_EQ(GapCodec::Decode(GapCodec::Encode(v), n), v) << "n=" << n;
   }
+}
+
+TEST(AdmissionGateTest, TryAcquireHonorsTheLimit) {
+  AdmissionGate gate(2);
+  EXPECT_EQ(gate.limit(), 2u);
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_FALSE(gate.TryAcquire());  // full
+  EXPECT_EQ(gate.InUse(), 2u);
+  gate.Release();
+  EXPECT_TRUE(gate.TryAcquire());
+  gate.Release();
+  gate.Release();
+  EXPECT_EQ(gate.InUse(), 0u);
+}
+
+TEST(AdmissionGateTest, ZeroLimitIsClampedToOne) {
+  AdmissionGate gate(0);
+  EXPECT_EQ(gate.limit(), 1u);
+  EXPECT_TRUE(gate.TryAcquire());
+  EXPECT_FALSE(gate.TryAcquire());
+  gate.Release();
+}
+
+TEST(AdmissionGateTest, ConcurrentProducersNeverExceedTheLimit) {
+  constexpr size_t kLimit = 3;
+  constexpr size_t kProducers = 8;
+  constexpr size_t kRoundsEach = 50;
+  AdmissionGate gate(kLimit);
+  std::atomic<size_t> inside{0};
+  std::atomic<size_t> peak{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (size_t i = 0; i < kRoundsEach; ++i) {
+        gate.Acquire();
+        size_t now = inside.fetch_add(1) + 1;
+        size_t seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        inside.fetch_sub(1);
+        gate.Release();
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_LE(peak.load(), kLimit);
+  EXPECT_EQ(gate.InUse(), 0u);
+  gate.WaitIdle();  // must not block when idle
+}
+
+TEST(AdmissionGateTest, WaitIdleBlocksUntilAllSlotsReleased) {
+  AdmissionGate gate(4);
+  gate.Acquire();
+  gate.Acquire();
+  std::atomic<bool> idle_seen{false};
+  std::thread waiter([&] {
+    gate.WaitIdle();
+    idle_seen = true;
+  });
+  gate.Release();
+  EXPECT_FALSE(idle_seen.load());  // one slot still held
+  gate.Release();
+  waiter.join();
+  EXPECT_TRUE(idle_seen.load());
 }
 
 TEST(RngTest, DeterministicBySeed) {

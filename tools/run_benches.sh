@@ -17,6 +17,44 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 RESULTS_ROOT="${2:-$REPO_ROOT/bench/results}"
 STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 RUN_DIR="$RESULTS_ROOT/$STAMP"
+
+REQUIRED_BENCHES=(bench_table2 bench_table3 bench_ablation bench_parallel
+                  bench_service)
+
+# A build dir cached with SPARQLSIM_BUILD_BENCH=OFF used to make this
+# script a silent no-op (every bench "not built, skipping", empty summary).
+# Detect the stale cache, reconfigure with benches on, build what is
+# missing, and fail loudly if a required bench still cannot be produced.
+ensure_benches_built() {
+  local missing=()
+  local b
+  for b in "${REQUIRED_BENCHES[@]}"; do
+    [[ -x "$BUILD_DIR/$b" ]] || missing+=("$b")
+  done
+  ((${#missing[@]})) || return 0
+
+  local cache="$BUILD_DIR/CMakeCache.txt"
+  if [[ ! -f "$cache" ]]; then
+    echo "[run_benches] $BUILD_DIR is not configured; configuring with" \
+         "SPARQLSIM_BUILD_BENCH=ON" >&2
+    cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DSPARQLSIM_BUILD_BENCH=ON >&2
+  elif grep -q '^SPARQLSIM_BUILD_BENCH:BOOL=OFF$' "$cache"; then
+    echo "[run_benches] stale cache: SPARQLSIM_BUILD_BENCH=OFF in" \
+         "$BUILD_DIR; reconfiguring" >&2
+    cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DSPARQLSIM_BUILD_BENCH=ON >&2
+  fi
+  echo "[run_benches] building missing benches: ${missing[*]}" >&2
+  cmake --build "$BUILD_DIR" -j --target "${missing[@]}" >&2
+
+  for b in "${REQUIRED_BENCHES[@]}"; do
+    if [[ ! -x "$BUILD_DIR/$b" ]]; then
+      echo "[run_benches] ERROR: $b still missing after reconfigure" >&2
+      exit 1
+    fi
+  done
+}
+ensure_benches_built
+
 mkdir -p "$RUN_DIR"
 
 export SPARQLSIM_LUBM_UNIVERSITIES="${SPARQLSIM_LUBM_UNIVERSITIES:-2}"
@@ -28,8 +66,10 @@ run_bench() {
   local name="$1"
   local bin="$BUILD_DIR/$name"
   if [[ ! -x "$bin" ]]; then
-    echo "[run_benches] $name not built, skipping" >&2
-    return 0
+    # ensure_benches_built guarantees the required set; anything missing
+    # here is a hard failure, not a silent skip.
+    echo "[run_benches] ERROR: $name not built" >&2
+    exit 1
   fi
   echo "[run_benches] running $name ..." >&2
   local t0 t1
@@ -40,12 +80,13 @@ run_bench() {
     >>"$RUN_DIR/wallclock.txt"
 }
 
-# Table 2/3 + ablation smoke runs, plus the thread-scaling bench (which
-# writes its own structured JSON).
+# Table 2/3 + ablation smoke runs, plus the thread-scaling and service
+# throughput benches (which write their own structured JSON).
 run_bench bench_table2
 run_bench bench_table3
 run_bench bench_ablation
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_parallel.json" run_bench bench_parallel
+SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_service.json" run_bench bench_service
 
 # Parse the bench tables' "total" rows into one summary JSON. awk fields:
 # bench_table2: total t_soi t_ma speedup / bench_table3 has its own shape —

@@ -1,0 +1,240 @@
+// sparqlsim_batch — concurrent batch front end over sim::QueryService.
+//
+// Reads a query file (queries separated by blank lines; '#' starts a
+// comment line), submits every query to a QueryService at once, and prints
+// per-query timing plus the service's queue/dedup/cache statistics. This is
+// the command-line face of the async serving layer: admission is bounded
+// (--queue-depth), in-flight duplicates coalesce, and the SOI/solution
+// cache is a capacity-bounded LRU (--cache-capacity).
+//
+// Usage:
+//   sparqlsim_batch [options] <data.nt> <queries.rq>
+//   sparqlsim_batch [options] --db file.gdb <queries.rq>
+//
+// Options:
+//   --threads N         service worker threads (0 = all hardware, default)
+//   --queue-depth N     max queries in flight before Submit blocks (def. 64)
+//   --cache-capacity N  LRU entry bound per cache layer (0 = unbounded)
+//   --cache|--no-cache  toggle the SOI/solution cache (on by default)
+//   --repeat K          submit the whole file K times (default 1); repeats
+//                       exercise dedup + the solution cache
+//   --db FILE           read the database from binary SQSIMDB1 format
+//
+// Example:
+//   printf 'SELECT * WHERE { ?d <directed> ?m . }\n' > q.rq
+//   sparqlsim_batch --queue-depth 8 --cache-capacity 64 movie.nt q.rq
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "graph/graph_database.h"
+#include "sim/query_service.h"
+#include "sparql/parser.h"
+#include "tool_common.h"
+#include "util/stopwatch.h"
+
+namespace sparqlsim {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sparqlsim_batch [--threads N] [--queue-depth N]\n"
+      "                       [--cache-capacity N] [--cache|--no-cache]\n"
+      "                       [--repeat K] [--db file.gdb] [data.nt] "
+      "<queries.rq>\n"
+      "       query file: one query per blank-line-separated block, "
+      "'#' comments\n");
+  return 2;
+}
+
+using tools::LoadDatabase;
+
+/// Splits the query file into blank-line-separated blocks, dropping '#'
+/// comment lines, and parses each block.
+bool LoadQueries(const char* path, std::vector<sparql::Query>* queries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open query file %s\n", path);
+    return false;
+  }
+  std::vector<std::string> blocks(1);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
+    if (blank) {
+      if (!blocks.back().empty()) blocks.emplace_back();
+      continue;
+    }
+    blocks.back() += line;
+    blocks.back() += '\n';
+  }
+  if (blocks.back().empty()) blocks.pop_back();
+  if (blocks.empty()) {
+    std::fprintf(stderr, "no queries in %s\n", path);
+    return false;
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    auto parsed = sparql::Parser::Parse(blocks[i]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "query %zu: %s\n", i,
+                   parsed.error_message().c_str());
+      return false;
+    }
+    queries->push_back(std::move(parsed).value());
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  sim::QueryServiceOptions options;
+  options.num_workers = 0;  // all hardware threads
+  size_t repeat = 1;
+  const char* db_path = nullptr;
+  std::vector<const char*> args;
+
+  auto parse_size = [](const char* text, size_t* out) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') return false;
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  auto flag_value = [&](int& i, const char* name,
+                        const char** out) -> bool {
+    size_t len = std::strlen(name);
+    if (std::strcmp(argv[i], name) == 0) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    }
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      *out = argv[i] + len + 1;
+      return true;
+    }
+    *out = nullptr;
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (!flag_value(i, "--threads", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &options.num_workers)) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--queue-depth", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &options.queue_depth)) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--cache-capacity", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &options.cache_capacity)) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--repeat", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &repeat) || repeat == 0) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--db", &value)) return Usage();
+    if (value != nullptr) {
+      db_path = value;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache") == 0) {
+      options.solver.cache_sois = options.solver.cache_solutions = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-cache") == 0) {
+      options.solver.cache_sois = options.solver.cache_solutions = false;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) == 0) return Usage();
+    args.push_back(argv[i]);
+  }
+
+  const char* query_path = nullptr;
+  std::optional<graph::GraphDatabase> db;
+  if (db_path != nullptr) {
+    if (args.size() != 1) return Usage();
+    query_path = args[0];
+    db = LoadDatabase(db_path, /*force_binary=*/true);
+  } else {
+    if (args.size() != 2) return Usage();
+    query_path = args[1];
+    db = LoadDatabase(args[0], /*force_binary=*/false);
+  }
+  if (!db) return 1;
+
+  std::vector<sparql::Query> queries;
+  if (!LoadQueries(query_path, &queries)) return 1;
+
+  sim::QueryService service(&*db, std::move(options));
+  const size_t total = queries.size() * repeat;
+  std::fprintf(stderr, "submitting %zu queries (%zu x %zu) ...\n", total,
+               queries.size(), repeat);
+
+  util::Stopwatch watch;
+  std::vector<std::future<sim::PruneReport>> futures;
+  futures.reserve(total);
+  for (size_t r = 0; r < repeat; ++r) {
+    for (const sparql::Query& q : queries) {
+      futures.push_back(service.Submit(q));
+    }
+  }
+  std::vector<sim::PruneReport> reports;
+  reports.reserve(total);
+  for (auto& f : futures) reports.push_back(f.get());
+  double wall = watch.ElapsedSeconds();
+
+  std::printf("%-6s %10s %9s %8s %10s\n", "query", "solve(s)", "branches",
+              "rounds", "kept");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const sim::PruneReport& r = reports[i];
+    std::printf("q%03zu   %10.5f %9zu %8zu %10zu\n", i, r.total_seconds,
+                r.num_branches, r.stats.rounds, r.kept_triples.size());
+  }
+
+  const sim::QueryService::Stats stats = service.stats();
+  const sim::QueryServiceOptions& opts = service.options();
+  std::printf("\nbatch: %zu queries in %.4fs (%.1f q/s, %zu workers, "
+              "queue depth %zu)\n",
+              total, wall, wall > 0 ? static_cast<double>(total) / wall : 0.0,
+              util::ThreadPool::ResolveThreadCount(opts.num_workers),
+              opts.queue_depth);
+  std::printf("service: submitted %zu, executed %zu, coalesced %zu, "
+              "peak in-flight %zu\n",
+              stats.submitted, stats.executed, stats.coalesced,
+              stats.peak_in_flight);
+  std::printf("cache: soi %zu hits / %zu misses, solution %zu hits / %zu "
+              "misses\n",
+              stats.cache.soi_hits, stats.cache.soi_misses,
+              stats.cache.solution_hits, stats.cache.solution_misses);
+  const std::string capacity =
+      opts.cache_capacity == 0 ? "unbounded"
+                               : std::to_string(opts.cache_capacity);
+  std::printf("cache evictions: %zu lru (soi %zu, solution %zu), "
+              "%zu generation-gc; resident %zu sois + %zu solutions"
+              " (capacity %s)\n",
+              stats.cache.soi_evictions + stats.cache.solution_evictions,
+              stats.cache.soi_evictions, stats.cache.solution_evictions,
+              stats.cache.generation_evictions, stats.cached_sois,
+              stats.cached_solutions, capacity.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sparqlsim
+
+int main(int argc, char** argv) { return sparqlsim::Run(argc, argv); }

@@ -17,6 +17,8 @@
 //                 for every value.
 //   --no-cache    disable the SimEngine SOI/solution caches (--cache
 //                 re-enables; on by default).
+//   --cache-capacity N  bound each cache layer to N entries (LRU
+//                 eviction); 0 = unbounded (the default).
 //   --db FILE     read the database from a binary SQSIMDB1 file (as written
 //                 by sparqlsim_ingest or `convert`) and drop the positional
 //                 <data> argument: `sparqlsim --db lubm.gdb stats`.
@@ -55,7 +57,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
-               "[--db file.gdb] "
+               "[--cache-capacity N] [--db file.gdb] "
                "<stats|query|prune|sim|bench|explain|convert> "
                "[data.nt] [query.rq|-] [out.nt]\n"
                "       (the positional data argument is omitted when "
@@ -63,38 +65,7 @@ int Usage() {
   return 2;
 }
 
-using tools::HasSuffix;
-
-/// Loads N-Triples or binary by suffix; `force_binary` (the --db flag's
-/// behavior) always reads the SQSIMDB1 format regardless of suffix.
-std::optional<graph::GraphDatabase> LoadDatabase(const char* path,
-                                                 bool force_binary = false) {
-  util::Stopwatch watch;
-  std::optional<graph::GraphDatabase> db;
-  if (force_binary || HasSuffix(path, ".gdb")) {
-    auto loaded = graph::BinaryIo::LoadFile(path);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "error loading %s: %s\n", path,
-                   loaded.error_message().c_str());
-      return std::nullopt;
-    }
-    db = std::move(loaded).value();
-  } else {
-    graph::GraphDatabaseBuilder builder;
-    util::Status status = graph::NTriples::LoadFile(path, &builder);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error loading %s: %s\n", path,
-                   status.message().c_str());
-      return std::nullopt;
-    }
-    db = std::move(builder).Build();
-  }
-  std::fprintf(stderr, "loaded %zu triples (%zu nodes, %zu predicates) in "
-               "%.2fs\n",
-               db->NumTriples(), db->NumNodes(), db->NumPredicates(),
-               watch.ElapsedSeconds());
-  return db;
-}
+using tools::LoadDatabase;
 
 bool ReadQuery(const char* path, sparql::Query* query) {
   std::string text;
@@ -248,6 +219,16 @@ int Run(int argc, char** argv) {
     options.num_threads = static_cast<size_t>(value);
     return true;
   };
+  auto parse_capacity = [&](const char* text) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0') {
+      std::fprintf(stderr, "invalid --cache-capacity value '%s'\n", text);
+      return false;
+    }
+    options.cache_capacity = static_cast<size_t>(value);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc || !parse_threads(argv[++i])) return Usage();
@@ -264,6 +245,14 @@ int Run(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--db=", 5) == 0) {
       db_path = argv[i] + 5;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      if (i + 1 >= argc || !parse_capacity(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--cache-capacity=", 17) == 0) {
+      if (!parse_capacity(argv[i] + 17)) return Usage();
       continue;
     }
     if (std::strcmp(argv[i], "--cache") == 0) {

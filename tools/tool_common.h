@@ -1,7 +1,15 @@
 // Small helpers shared by the command-line tools.
 #pragma once
 
+#include <cstdio>
+#include <optional>
 #include <string_view>
+#include <utility>
+
+#include "graph/binary_io.h"
+#include "graph/graph_database.h"
+#include "graph/ntriples.h"
+#include "util/stopwatch.h"
 
 namespace sparqlsim::tools {
 
@@ -11,6 +19,39 @@ namespace sparqlsim::tools {
 inline bool HasSuffix(std::string_view path, std::string_view suffix) {
   return path.size() >= suffix.size() &&
          path.substr(path.size() - suffix.size()) == suffix;
+}
+
+/// Loads N-Triples or binary by suffix; `force_binary` (the --db flag's
+/// behavior) always reads the SQSIMDB1 format regardless of suffix.
+/// Reports load time on stderr; returns nullopt (with a diagnostic) on
+/// failure. Shared by sparqlsim_cli and sparqlsim_batch.
+inline std::optional<graph::GraphDatabase> LoadDatabase(
+    const char* path, bool force_binary = false) {
+  util::Stopwatch watch;
+  std::optional<graph::GraphDatabase> db;
+  if (force_binary || HasSuffix(path, ".gdb")) {
+    auto loaded = graph::BinaryIo::LoadFile(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", path,
+                   loaded.error_message().c_str());
+      return std::nullopt;
+    }
+    db = std::move(loaded).value();
+  } else {
+    graph::GraphDatabaseBuilder builder;
+    util::Status status = graph::NTriples::LoadFile(path, &builder);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error loading %s: %s\n", path,
+                   status.message().c_str());
+      return std::nullopt;
+    }
+    db = std::move(builder).Build();
+  }
+  std::fprintf(stderr,
+               "loaded %zu triples (%zu nodes, %zu predicates) in %.2fs\n",
+               db->NumTriples(), db->NumNodes(), db->NumPredicates(),
+               watch.ElapsedSeconds());
+  return db;
 }
 
 }  // namespace sparqlsim::tools
