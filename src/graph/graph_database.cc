@@ -95,6 +95,8 @@ void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
   backward_summary_.reserve(num_predicates);
   subject_counts_.resize(num_predicates);
   object_counts_.resize(num_predicates);
+  empty_forward_cols_.resize(num_predicates);
+  empty_backward_cols_.resize(num_predicates);
   num_triples_ = 0;
 
   for (size_t p = 0; p < num_predicates; ++p) {
@@ -105,6 +107,11 @@ void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
     backward_summary_.push_back(backward_.back().RowSummary());
     subject_counts_[p] = forward_summary_.back().Count();
     object_counts_[p] = backward_summary_.back().Count();
+    // Columns of F_p are objects and columns of B_p are subjects, so the
+    // empty-column counts fall out of the summary counts for free — no
+    // extra O(nnz) pass.
+    empty_forward_cols_[p] = n - object_counts_[p];
+    empty_backward_cols_[p] = n - subject_counts_[p];
     num_triples_ += forward_.back().Nnz();
   }
 }

@@ -101,12 +101,29 @@ class GraphDatabase {
   size_t DistinctSubjects(uint32_t p) const { return subject_counts_[p]; }
   size_t DistinctObjects(uint32_t p) const { return object_counts_[p]; }
 
-  /// Calls fn(subject, object) for every triple with predicate p.
+  /// Number of all-zero columns of F_p / B_p, precomputed at build time.
+  /// The solver's order-by-sparsity heuristic (Sect. 3.3: inequalities
+  /// whose matrix has many empty columns prune hardest) reads these
+  /// instead of paying BitMatrix::CountEmptyColumns' O(nnz) ColSummary
+  /// pass on every solve.
+  size_t EmptyForwardColumns(uint32_t p) const {
+    return empty_forward_cols_[p];
+  }
+  size_t EmptyBackwardColumns(uint32_t p) const {
+    return empty_backward_cols_[p];
+  }
+
+  /// Calls fn(subject, object) for every triple with predicate p, in
+  /// ascending (subject, object) order. Walks only the non-empty rows of
+  /// F_p — O(distinct subjects + nnz), independent of the node-universe
+  /// size, which keeps Restrict()/AllTriples() cheap for the tiny
+  /// predicates real datasets are full of.
   template <typename Fn>
   void ForEachTriple(uint32_t p, Fn&& fn) const {
     const util::BitMatrix& m = forward_[p];
-    for (size_t s = 0; s < m.rows(); ++s) {
-      for (uint32_t o : m.Row(s)) fn(static_cast<uint32_t>(s), o);
+    const auto rows = m.NonEmptyRows();
+    for (size_t slot = 0; slot < rows.size(); ++slot) {
+      for (uint32_t o : m.RowBySlot(slot)) fn(rows[slot], o);
     }
   }
 
@@ -150,6 +167,8 @@ class GraphDatabase {
   std::vector<util::BitVector> backward_summary_;
   std::vector<size_t> subject_counts_;
   std::vector<size_t> object_counts_;
+  std::vector<size_t> empty_forward_cols_;
+  std::vector<size_t> empty_backward_cols_;
 };
 
 }  // namespace sparqlsim::graph

@@ -4,6 +4,8 @@
 #include <memory>
 #include <numeric>
 
+#include "util/counted_accumulator.h"
+#include "util/hierarchical_bitvector.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -25,10 +27,68 @@ struct Work {
 enum class EvalKind : uint8_t {
   kSkip,   // lhs already empty at round start: nothing to do
   kClear,  // rhs empty / predicate absent: lhs drains to the empty set
-  kRow,    // mask = chi(rhs) *b A (Eq. 9)
+  kRow,    // mask = chi(rhs) *b A (Eq. 9), computed in full
   kCol,    // mask = chi(lhs) filtered by per-column intersection tests
   kSub,    // mask = chi(rhs) (subordination, Eq. 14/15)
+  kDelta,  // mask = accumulator product after counted retraction of the
+           // rows that left chi(rhs); identical to the kRow mask
 };
+
+/// Per-matrix-inequality incremental state, persistent across rounds.
+///
+/// Two tiers, both exploiting that candidate sets only ever shrink (the
+/// accumulated removal delta since the last synchronization is exactly
+/// `last_rhs` minus the current chi(rhs), and its *size* is a free count
+/// difference):
+///
+///  * Snapshot tier — every full row-wise evaluation keeps its product
+///    and the selection it was computed from (two bit-vector copies, a
+///    negligible premium over the Multiply itself). A re-evaluation with
+///    a small delta then *retracts*: only columns reachable from removed
+///    rows can leave the product, and each such column is re-checked with
+///    one early-exit cover probe against the current selection (row of
+///    A^T vs chi(rhs)).
+///  * Counted tier — an inequality that demonstrably iterates escalates
+///    to a util::CountedAccumulator, whose per-column cover counts make
+///    every retraction O(1) per touched column (no probes, GQ-Fast-style
+///    counted index). Building counts writes 4 bytes per selected-nnz
+///    entry where a product writes a bit, so the build is only risked on
+///    *collapsed* selections, where it is near-free and every later
+///    retraction is pure profit.
+///
+/// State is touched exclusively by the one evaluation task that owns the
+/// inequality in a round (each inequality appears at most once per
+/// round), so the evaluation phase stays race-free; its evolution is a
+/// pure function of the worklist and the round-start assignments, so it
+/// is scheduling-independent too.
+struct IneqState {
+  util::BitVector product;   // snapshot tier: chi(rhs) *b A for last_rhs
+  util::BitVector last_rhs;  // selection both tiers are synchronized to
+  size_t last_count = 0;     // == last_rhs.Count(), kept for the cost rule
+  bool product_valid = false;
+  util::CountedAccumulator acc;  // counted tier (escalation)
+  bool acc_valid = false;
+  /// Delta evaluations this inequality has completed, saturating — past
+  /// retraction is the only reliable predictor of the future retractions
+  /// that amortize the counted build (visit counts are not: for an
+  /// inequality the fixpoint evaluates k times, any visit threshold
+  /// tends to trigger exactly at the k-th, final, visit).
+  uint8_t deltas_done = 0;
+};
+
+/// Escalation gate to the counted tier: at least this many delta
+/// evaluations already performed...
+constexpr uint8_t kAccDeltaThreshold = 2;
+/// ...and a selection collapsed below 1/kAccBuildFraction of the
+/// universe, so the counter-array build premium is negligible.
+constexpr size_t kAccBuildFraction = 8;
+
+/// Snapshot-tier cost asymmetry: a probe retraction pays an early-exit
+/// row scan per touched column where a recompute pays a bit write per
+/// entry, so probing is only chosen for deltas this many times smaller
+/// than the full evaluation (counted-tier decrements are O(1) per column
+/// and keep the plain removed-vs-full comparison).
+constexpr size_t kProbePenalty = 8;
 
 }  // namespace
 
@@ -39,6 +99,11 @@ void SolveStats::Accumulate(const SolveStats& other) {
   row_evals += other.row_evals;
   col_evals += other.col_evals;
   solve_seconds += other.solve_seconds;
+  delta_evals += other.delta_evals;
+  full_evals += other.full_evals;
+  acc_rebuilds += other.acc_rebuilds;
+  cols_cleared += other.cols_cleared;
+  blocks_skipped += other.blocks_skipped;
   parallel_rounds += other.parallel_rounds;
   max_round_width = std::max(max_round_width, other.max_round_width);
   threads_used = std::max(threads_used, other.threads_used);
@@ -78,15 +143,22 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   const size_t num_ineqs = num_matrix + soi.sub_ineqs.size();
 
   Solution solution;
-  solution.candidates.assign(num_vars, util::BitVector(n));
-  std::vector<util::BitVector>& chi = solution.candidates;
+  // Empty slots only: every candidate vector is moved in from chi at the
+  // end of the solve, so allocating dense vectors here would be wasted.
+  solution.candidates.resize(num_vars);
+  // Candidate sets live in hierarchical form for the whole fixpoint so the
+  // AND/Count/product kernels can skip zero blocks as the sets collapse;
+  // the flat vectors are moved into the Solution at the end.
+  std::vector<util::HierarchicalBitVector> chi;
+  chi.reserve(num_vars);
+  for (size_t v = 0; v < num_vars; ++v) chi.emplace_back(n);
   std::vector<size_t> counts(num_vars, 0);
 
   // --- Initialization: Eq. (12) or Eq. (13), constants per Sect. 4.5. ---
   for (size_t v = 0; v < num_vars; ++v) {
     if (soi.unsatisfiable_vars[v]) continue;  // stays empty
     if (initial != nullptr) {
-      chi[v] = (*initial)[v];
+      chi[v] = util::HierarchicalBitVector((*initial)[v]);
       if (soi.constants[v]) {
         util::BitVector pin(n);
         pin.Set(*soi.constants[v]);
@@ -131,10 +203,11 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
       if (idx >= num_matrix) return SIZE_MAX;  // subordinations last
       const Soi::MatrixIneq& m = soi.matrix_ineqs[idx];
       if (m.predicate == kEmptyPredicate) return 0;
-      // More empty columns in A == fewer distinct targets: ascending
-      // distinct objects (forward) / subjects (backward).
-      return m.forward ? db.DistinctObjects(m.predicate)
-                       : db.DistinctSubjects(m.predicate);
+      // More empty columns in A first. The counts are precomputed per
+      // predicate at database build time; ascending (cols - empty) is the
+      // same order as the descending empty-column sort of Sect. 3.3.
+      return n - (m.forward ? db.EmptyForwardColumns(m.predicate)
+                            : db.EmptyBackwardColumns(m.predicate));
     };
     std::stable_sort(order.begin(), order.end(),
                      [&](uint32_t a, uint32_t b) { return key(a) < key(b); });
@@ -144,14 +217,24 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   work.current = order;
   work.queued.assign(num_ineqs, false);
 
+  // Per-matrix-inequality incremental state (accumulator + selection
+  // snapshot); see IneqState. Allocated once, lazily populated.
+  std::vector<IneqState> inc_state(options.incremental_eval ? num_matrix : 0);
+
   // Per-inequality result slots, reused across rounds. chi and counts are
   // frozen during the evaluation phase — every mask is a pure function of
   // the round-start assignment — so the phase parallelizes with no
   // synchronization beyond the end-of-round barrier, and the sequential
   // merge below replays the slots in worklist order for a scheduling-
-  // independent outcome.
+  // independent outcome. `mask_ptrs[k]` designates the mask the merge
+  // applies: the slot's own `masks[k]`, or the owning inequality's
+  // accumulator product (stable storage in `inc_state`, untouched during
+  // the merge).
   std::vector<util::BitVector> masks;
   std::vector<EvalKind> kinds;
+  std::vector<const util::BitVector*> mask_ptrs;
+  std::vector<size_t> cleared;  // columns cleared by a kDelta retraction
+  std::vector<uint8_t> rebuilt;  // slot performed an accumulator build
 
   auto on_change = [&](uint32_t var) {
     counts[var] = chi[var].Count();
@@ -164,11 +247,13 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   };
 
   auto evaluate = [&](size_t k) {
+    rebuilt[k] = 0;
     const uint32_t idx = work.current[k];
     if (idx >= num_matrix) {
       const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
       kinds[k] = EvalKind::kSub;
-      masks[k] = chi[s.rhs];
+      masks[k] = chi[s.rhs].bits();
+      mask_ptrs[k] = &masks[k];
       return;
     }
 
@@ -201,18 +286,105 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
         break;
     }
 
+    if (options.incremental_eval) {
+      IneqState& st = inc_state[idx];
+
+      // Cost rule, same flavor as the row/column dynamic rule: retract
+      // iff the rows removed since the sync point are fewer than what the
+      // chosen full strategy would touch. The monotone shrink makes the
+      // removal count an exact count difference — no set difference is
+      // needed to *decide*.
+      if (st.acc_valid || st.product_valid) {
+        const size_t removed = st.last_count - counts[m.rhs];
+        const size_t full_cost = row_wise ? counts[m.rhs] : counts[m.lhs];
+        // Which tier (if any) evaluates this delta: the counted tier
+        // whenever its counts are live; otherwise escalate from the
+        // snapshot tier when the inequality keeps iterating on a
+        // collapsed selection; otherwise probe — but only for deltas
+        // small enough to beat recomputation despite the probe premium.
+        const bool counted_ok = st.acc_valid && removed < full_cost;
+        const bool escalate_ok = !st.acc_valid && removed < full_cost &&
+                                 st.deltas_done >= kAccDeltaThreshold &&
+                                 counts[m.rhs] * kAccBuildFraction < n;
+        const bool probe_ok =
+            !st.acc_valid && !escalate_ok && removed * kProbePenalty < full_cost;
+        if (counted_ok || escalate_ok || probe_ok) {
+          kinds[k] = EvalKind::kDelta;
+          cleared[k] = 0;
+          if (st.deltas_done < kAccDeltaThreshold) ++st.deltas_done;
+          if (escalate_ok) {
+            // Build the cover counts on the current (collapsed)
+            // selection; the build subsumes this retraction and makes
+            // every later one O(1) per column.
+            rebuilt[k] = 1;
+            st.acc.Rebuild(a, chi[m.rhs]);
+            st.acc_valid = true;
+            st.product_valid = false;
+          } else if (removed != 0) {
+            util::BitVector gone = st.last_rhs;
+            gone.AndNotWith(chi[m.rhs].bits());
+            if (st.acc_valid) {
+              cleared[k] = st.acc.Retract(a, gone);
+            } else {
+              // Snapshot tier: only columns of removed rows can leave the
+              // product; re-check each with one early-exit cover probe
+              // (column c of A is row c of A^T).
+              size_t probe_cleared = 0;
+              gone.ForEachSetBit([&](uint32_t r) {
+                for (uint32_t c : a.Row(r)) {
+                  if (st.product.Test(c) &&
+                      !a_t.RowIntersects(c, chi[m.rhs].bits())) {
+                    st.product.Reset(c);
+                    ++probe_cleared;
+                  }
+                }
+              });
+              cleared[k] = probe_cleared;
+            }
+          }
+          if (removed != 0 || rebuilt[k]) {
+            st.last_rhs = chi[m.rhs].bits();
+            st.last_count = counts[m.rhs];
+          }
+          // Either tier's product equals chi(rhs) *b A exactly — the same
+          // mask a full kRow evaluation would produce.
+          mask_ptrs[k] = st.acc_valid ? &st.acc.result() : &st.product;
+          return;
+        }
+      }
+
+      if (row_wise) {
+        // Full product; refresh the snapshot tier from it so the next
+        // visit can retract. The two copies are a negligible premium over
+        // the Multiply itself, and a stale counted tier is dropped (its
+        // counts no longer match any snapshot we keep).
+        kinds[k] = EvalKind::kRow;
+        masks[k].Resize(n);
+        a.Multiply(chi[m.rhs], &masks[k]);
+        st.product = masks[k];
+        st.last_rhs = chi[m.rhs].bits();
+        st.last_count = counts[m.rhs];
+        st.product_valid = true;
+        st.acc_valid = false;
+        mask_ptrs[k] = &masks[k];
+        return;
+      }
+    }
+
     if (row_wise) {
       kinds[k] = EvalKind::kRow;
       masks[k].Resize(n);
       a.Multiply(chi[m.rhs], &masks[k]);
+      mask_ptrs[k] = &masks[k];
     } else {
       kinds[k] = EvalKind::kCol;
       // Keep candidate j of lhs iff column j of A intersects chi(rhs);
       // column j of A is row j of A^T.
-      masks[k] = chi[m.lhs];
+      masks[k] = chi[m.lhs].bits();
       masks[k].ForEachSetBit([&](uint32_t j) {
-        if (!a_t.RowIntersects(j, chi[m.rhs])) masks[k].Reset(j);
+        if (!a_t.RowIntersects(j, chi[m.rhs].bits())) masks[k].Reset(j);
       });
+      mask_ptrs[k] = &masks[k];
     }
   };
 
@@ -226,6 +398,9 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     if (masks.size() < width) {
       masks.resize(width);
       kinds.resize(width);
+      mask_ptrs.resize(width);
+      cleared.resize(width);
+      rebuilt.resize(width);
     }
 
     // Evaluation phase: chi/counts are read-only until the barrier.
@@ -246,21 +421,32 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
       bool changed = false;
       switch (kinds[k]) {
         case EvalKind::kSkip:
+          ++stats.full_evals;
           continue;
         case EvalKind::kClear:
+          ++stats.full_evals;
           changed = chi[lhs].Any();
           if (changed) chi[lhs].ClearAll();
           break;
         case EvalKind::kRow:
+          ++stats.full_evals;
           ++stats.row_evals;
-          changed = chi[lhs].AndWith(masks[k]);
+          changed = chi[lhs].AndWith(*mask_ptrs[k]);
           break;
         case EvalKind::kCol:
+          ++stats.full_evals;
           ++stats.col_evals;
-          changed = chi[lhs].AndWith(masks[k]);
+          changed = chi[lhs].AndWith(*mask_ptrs[k]);
           break;
         case EvalKind::kSub:
-          changed = chi[lhs].AndWith(masks[k]);
+          ++stats.full_evals;
+          changed = chi[lhs].AndWith(*mask_ptrs[k]);
+          break;
+        case EvalKind::kDelta:
+          ++stats.delta_evals;
+          stats.acc_rebuilds += rebuilt[k];
+          stats.cols_cleared += cleared[k];
+          changed = chi[lhs].AndWith(*mask_ptrs[k]);
           break;
       }
       if (changed) {
@@ -272,6 +458,13 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     work.current.clear();
     std::swap(work.current, work.next);
     std::fill(work.queued.begin(), work.queued.end(), false);
+  }
+
+  // Export the flat candidate vectors; harvest the hierarchical skip
+  // counters first (TakeBits discards the summary level).
+  for (size_t v = 0; v < num_vars; ++v) {
+    stats.blocks_skipped += chi[v].TakeBlocksSkipped();
+    solution.candidates[v] = std::move(chi[v]).TakeBits();
   }
 
   stats.solve_seconds = timer.ElapsedSeconds();

@@ -31,6 +31,22 @@ struct SolverOptions {
   /// most empty columns (highest pruning potential) come first.
   bool order_by_sparsity = true;
 
+  /// Delta-driven incremental re-evaluation of matrix inequalities. The
+  /// fixpoint shrinks candidate sets monotonically, so instead of
+  /// re-unioning every row selected by chi(rhs) on each re-evaluation, the
+  /// solver keeps a util::CountedAccumulator per inequality (per-column
+  /// cover counts plus the product vector) and, when the removal delta is
+  /// small, decrements counts along only the rows that *left* chi(rhs)
+  /// since the accumulator was last synchronized — work proportional to
+  /// the delta, not to nnz. A cost rule analogous to the row/column
+  /// dynamic rule picks delta vs full evaluation per inequality; results
+  /// are bit-identical either way (the accumulator's product is exactly
+  /// the Eq. (9) union), so this is purely a wall-clock knob, ablatable
+  /// for benchmarks. Accumulators are allocated lazily from an
+  /// inequality's second row-wise evaluation on, so one-shot inequalities
+  /// never pay the O(cols) counter memory.
+  bool incremental_eval = true;
+
   /// Safety valve for experiments; 0 means no limit.
   size_t max_rounds = 0;
 
@@ -74,9 +90,29 @@ struct SolveStats {
   size_t rounds = 0;
   size_t evaluations = 0;  // inequality evaluations
   size_t updates = 0;      // evaluations that shrank a candidate set
-  size_t row_evals = 0;
-  size_t col_evals = 0;
+  size_t row_evals = 0;    // full row-wise products (Eq. 9)
+  size_t col_evals = 0;    // full column-wise evaluations
   double solve_seconds = 0.0;
+
+  /// Incremental-evaluation counters (SolverOptions::incremental_eval).
+  /// Every evaluation is either a delta evaluation (counted retraction
+  /// through the per-inequality accumulator) or a full one (row, column,
+  /// subordination, skip, clear), so
+  ///     delta_evals + full_evals == evaluations
+  /// holds for every run; with incremental_eval off, delta_evals == 0.
+  size_t delta_evals = 0;
+  size_t full_evals = 0;
+  /// Accumulator (re)builds — the speculative cost the delta evaluations
+  /// amortize; a build is counted inside the row evaluation that performs
+  /// it.
+  size_t acc_rebuilds = 0;
+  /// Columns cleared by counted retraction (cover count hit zero) — the
+  /// actual pruning work the deltas performed.
+  size_t cols_cleared = 0;
+  /// Zero 64-word blocks the hierarchical candidate vectors skipped in
+  /// the single-threaded AND kernels (initialization + merge phases);
+  /// grows as candidate sets collapse.
+  size_t blocks_skipped = 0;
 
   /// Per-round parallelism counters: rounds whose evaluation phase ran on a
   /// thread pool, the widest round (unstable inequalities evaluated
@@ -124,7 +160,10 @@ struct Solution {
 /// merges the masks into the candidate vectors in fixed worklist order on
 /// the calling thread. Because each mask is a pure function of the
 /// round-start state and the merge order never depends on scheduling, the
-/// result is bit-identical for every thread count.
+/// result is bit-identical for every thread count — and for
+/// `incremental_eval` on vs off, since a delta-maintained accumulator
+/// reproduces exactly the Eq. (9) product a full evaluation would compute
+/// (rounds/evaluations/updates agree too, not just the fixpoint).
 ///
 /// When `options.num_threads != 1` a transient pool is spun up for this one
 /// call; long-lived consumers should hold a SimEngine, which owns a

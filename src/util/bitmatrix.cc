@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/hierarchical_bitvector.h"
+
 namespace sparqlsim::util {
 
 BitMatrix BitMatrix::Build(size_t rows, size_t cols,
@@ -50,22 +52,13 @@ bool BitMatrix::Test(size_t r, size_t c) const {
 void BitMatrix::Multiply(const BitVector& x, BitVector* out) const {
   assert(x.size() == rows_);
   assert(out->size() == cols_);
-  out->ClearAll();
-  size_t selected = x.Count();
-  // Iterate whichever index is smaller: the set bits of x (with a row
-  // lookup each) or the non-empty row list (with a bit test each).
-  if (selected * 8 < rows_index_.size()) {
-    x.ForEachSetBit([&](uint32_t r) {
-      for (uint32_t c : Row(r)) out->Set(c);
-    });
-  } else {
-    for (size_t slot = 0; slot < rows_index_.size(); ++slot) {
-      if (!x.Test(rows_index_[slot])) continue;
-      for (uint32_t i = row_offsets_[slot]; i < row_offsets_[slot + 1]; ++i) {
-        out->Set(cols_index_[i]);
-      }
-    }
-  }
+  MultiplyImpl(x, out);
+}
+
+void BitMatrix::Multiply(const HierarchicalBitVector& x, BitVector* out) const {
+  assert(x.size() == rows_);
+  assert(out->size() == cols_);
+  MultiplyImpl(x, out);
 }
 
 bool BitMatrix::RowIntersects(size_t r, const BitVector& y) const {

@@ -9,6 +9,8 @@
 
 namespace sparqlsim::util {
 
+class HierarchicalBitVector;
+
 /// A boolean matrix in sparse-row-indexed CSR form.
 ///
 /// This is the in-memory representation of the per-label adjacency matrices
@@ -56,6 +58,14 @@ class BitMatrix {
   /// Sorted column indices of row r (empty span if the row has no bits).
   std::span<const uint32_t> Row(size_t r) const;
 
+  /// Column indices of the slot-th non-empty row (row id
+  /// NonEmptyRows()[slot]); O(1), no row-id binary search. Callers
+  /// iterating all rows should walk slots, not row ids.
+  std::span<const uint32_t> RowBySlot(size_t slot) const {
+    return {cols_index_.data() + row_offsets_[slot],
+            row_offsets_[slot + 1] - row_offsets_[slot]};
+  }
+
   size_t RowDegree(size_t r) const { return Row(r).size(); }
   bool RowAny(size_t r) const { return !Row(r).empty(); }
 
@@ -65,6 +75,12 @@ class BitMatrix {
   /// out = x *b this: the union of all rows r with x(r) = 1 (Eq. 9).
   /// `out` must have size cols(); it is cleared first.
   void Multiply(const BitVector& x, BitVector* out) const;
+
+  /// Same product for a hierarchical selector: Count and the set-bit walk
+  /// skip x's zero blocks, so sparse selections (late fixpoint rounds)
+  /// cost O(live blocks + selected nnz) instead of O(universe/64).
+  /// Output is bit-identical to the BitVector overload.
+  void Multiply(const HierarchicalBitVector& x, BitVector* out) const;
 
   /// True iff row r and the dense vector y share a set bit; this is the
   /// single-pair existence check of Eq. (4), used for column-wise evaluation
@@ -89,6 +105,30 @@ class BitMatrix {
   size_t ApproxBytes() const;
 
  private:
+  /// Shared body of the two Multiply overloads: `SelT` is BitVector or
+  /// HierarchicalBitVector (Count/ForEachSetBit/Test over row indices).
+  /// Instantiated in bitmatrix.cc, where both selector types are complete.
+  template <typename SelT>
+  void MultiplyImpl(const SelT& x, BitVector* out) const {
+    out->ClearAll();
+    size_t selected = x.Count();
+    // Iterate whichever index is smaller: the set bits of x (with a row
+    // lookup each) or the non-empty row list (with a bit test each).
+    if (selected * 8 < rows_index_.size()) {
+      x.ForEachSetBit([&](uint32_t r) {
+        for (uint32_t c : Row(r)) out->Set(c);
+      });
+    } else {
+      for (size_t slot = 0; slot < rows_index_.size(); ++slot) {
+        if (!x.Test(rows_index_[slot])) continue;
+        for (uint32_t i = row_offsets_[slot]; i < row_offsets_[slot + 1];
+             ++i) {
+          out->Set(cols_index_[i]);
+        }
+      }
+    }
+  }
+
   /// Index into rows_index_ for row r, or -1 if the row is empty.
   int64_t FindRowSlot(size_t r) const;
 

@@ -1,0 +1,22 @@
+#include "util/counted_accumulator.h"
+
+#include <cassert>
+
+namespace sparqlsim::util {
+
+size_t CountedAccumulator::Retract(const BitMatrix& a,
+                                   const BitVector& removed) {
+  size_t cleared = 0;
+  removed.ForEachSetBit([&](uint32_t r) {
+    for (uint32_t c : a.Row(r)) {
+      assert(counts_[c] > 0 && "retracting a row that was never selected");
+      if (--counts_[c] == 0) {
+        result_.Reset(c);
+        ++cleared;
+      }
+    }
+  });
+  return cleared;
+}
+
+}  // namespace sparqlsim::util

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bitmatrix.h"
+#include "util/bitvector.h"
+
+namespace sparqlsim::util {
+
+/// A counted boolean vector-matrix product: maintains, for one matrix A
+/// and a *shrinking* row-selection x, the per-column cover counts
+///
+///     counts[c] = |{ r : x(r) = 1 and A(r, c) = 1 }|
+///
+/// together with the product bit-vector  result = x *b A  (bit c set iff
+/// counts[c] > 0, exactly the union-of-selected-rows of Eq. (9) in the
+/// paper).
+///
+/// This is the amortization behind HHK-style simulation algorithms applied
+/// to the paper's matrix formulation: because the SOI fixpoint only ever
+/// *removes* bits from chi(rhs), a re-evaluation of `lhs <= rhs *b A` does
+/// not need to re-union every selected row — it can decrement counts along
+/// the rows that *left* the selection (Retract) and clear exactly the
+/// columns whose count reaches zero. Per-round cost becomes proportional
+/// to the removal delta instead of to nnz of the selected submatrix.
+///
+/// The accumulator is a plain value type; the solver keeps one per matrix
+/// inequality (lazily, from the second row-wise evaluation on) alongside a
+/// snapshot of the selection it was built against.
+class CountedAccumulator {
+ public:
+  /// Rebuilds counts/result from scratch for the given selection. Cost:
+  /// the nnz of the selected rows plus clearing the *previous* product's
+  /// columns (counts is zero wherever the product bit is clear — a class
+  /// invariant — so a full O(cols) wipe is only ever paid on first use).
+  /// `SelT` is BitVector or HierarchicalBitVector (anything with
+  /// Count/ForEachSetBit/Test over row indices).
+  template <typename SelT>
+  void Rebuild(const BitMatrix& a, const SelT& selected) {
+    if (counts_.size() != a.cols()) {
+      counts_.assign(a.cols(), 0);
+      result_.Resize(a.cols());
+      result_.ClearAll();
+    } else {
+      result_.ForEachSetBit([&](uint32_t c) { counts_[c] = 0; });
+      result_.ClearAll();
+    }
+    // Mirror Multiply's adaptive rule: walk the selection (row lookup
+    // each) when it is small, the non-empty row list (bit test each)
+    // otherwise.
+    const auto rows = a.NonEmptyRows();
+    if (selected.Count() * 8 < rows.size()) {
+      selected.ForEachSetBit([&](uint32_t r) { AddRow(a.Row(r)); });
+    } else {
+      for (size_t slot = 0; slot < rows.size(); ++slot) {
+        if (selected.Test(rows[slot])) AddRow(a.RowBySlot(slot));
+      }
+    }
+  }
+
+  /// Removes `removed` rows from the selection: decrements counts along
+  /// each removed row and clears the columns whose count hits zero.
+  /// Every removed row must have been part of the selection the counts
+  /// were built/retracted to (the solver guarantees this by construction:
+  /// removed = previous chi(rhs) minus current chi(rhs), and chi only
+  /// shrinks). Cost: O(nnz of the removed rows). Returns the number of
+  /// columns cleared.
+  size_t Retract(const BitMatrix& a, const BitVector& removed);
+
+  /// The product x *b A for the current selection x.
+  const BitVector& result() const { return result_; }
+
+  /// Cover count of column c (test/debug accessor).
+  uint32_t count(size_t c) const { return counts_[c]; }
+
+ private:
+  void AddRow(std::span<const uint32_t> row) {
+    for (uint32_t c : row) {
+      if (counts_[c]++ == 0) result_.Set(c);
+    }
+  }
+
+  std::vector<uint32_t> counts_;
+  BitVector result_;
+};
+
+}  // namespace sparqlsim::util

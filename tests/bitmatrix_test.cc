@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "util/counted_accumulator.h"
+#include "util/hierarchical_bitvector.h"
 #include "util/rng.h"
 
 namespace sparqlsim::util {
@@ -127,6 +132,126 @@ TEST(BitMatrixTest, EmptyMatrix) {
   BitVector out(10);
   m.Multiply(all, &out);
   EXPECT_TRUE(out.None());
+}
+
+TEST(BitMatrixTest, RowBySlotMatchesRowLookup) {
+  BitMatrix m = BitMatrix::Build(8, 8, {{1, 2}, {1, 5}, {4, 0}, {7, 7}});
+  auto rows = m.NonEmptyRows();
+  ASSERT_EQ(rows.size(), 3u);
+  for (size_t slot = 0; slot < rows.size(); ++slot) {
+    auto by_slot = m.RowBySlot(slot);
+    auto by_id = m.Row(rows[slot]);
+    ASSERT_EQ(by_slot.size(), by_id.size());
+    for (size_t i = 0; i < by_slot.size(); ++i) {
+      EXPECT_EQ(by_slot[i], by_id[i]);
+    }
+  }
+}
+
+TEST(BitMatrixTest, HierarchicalMultiplyMatchesPlain) {
+  Rng rng(7100);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t rows = 1 + rng.NextBounded(5000);
+    const size_t cols = 1 + rng.NextBounded(5000);
+    std::vector<std::pair<uint32_t, uint32_t>> entries;
+    const size_t nnz = rng.NextBounded(400);
+    for (size_t i = 0; i < nnz; ++i) {
+      entries.emplace_back(static_cast<uint32_t>(rng.NextBounded(rows)),
+                           static_cast<uint32_t>(rng.NextBounded(cols)));
+    }
+    BitMatrix m = BitMatrix::Build(rows, cols, std::move(entries));
+    BitVector x(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      // Alternate dense and sparse selectors to hit both Multiply paths.
+      if (rng.NextBool(trial % 2 == 0 ? 0.6 : 0.01)) x.Set(r);
+    }
+    BitVector plain(cols);
+    m.Multiply(x, &plain);
+    BitVector viah(cols);
+    m.Multiply(HierarchicalBitVector(x), &viah);
+    EXPECT_EQ(viah, plain) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CountedAccumulator: the incremental product must track the full product
+// exactly through arbitrary monotone removal sequences.
+// ---------------------------------------------------------------------------
+
+TEST(CountedAccumulatorTest, RebuildMatchesMultiply) {
+  BitMatrix m = BitMatrix::Build(6, 6, {{0, 1}, {0, 2}, {2, 2}, {5, 0}});
+  BitVector sel = BitVector::FromIndices(6, {0, 2, 5});
+  CountedAccumulator acc;
+  acc.Rebuild(m, sel);
+  BitVector expected(6);
+  m.Multiply(sel, &expected);
+  EXPECT_EQ(acc.result(), expected);
+  EXPECT_EQ(acc.count(2), 2u);  // covered by rows 0 and 2
+  EXPECT_EQ(acc.count(1), 1u);
+  EXPECT_EQ(acc.count(0), 1u);
+}
+
+TEST(CountedAccumulatorTest, RetractClearsExactlyZeroCountColumns) {
+  BitMatrix m = BitMatrix::Build(6, 6, {{0, 1}, {0, 2}, {2, 2}, {5, 0}});
+  CountedAccumulator acc;
+  acc.Rebuild(m, BitVector(6, true));
+  // Remove row 0: column 1 loses its only cover, column 2 keeps row 2's.
+  EXPECT_EQ(acc.Retract(m, BitVector::FromIndices(6, {0})), 1u);
+  EXPECT_FALSE(acc.result().Test(1));
+  EXPECT_TRUE(acc.result().Test(2));
+  EXPECT_EQ(acc.count(2), 1u);
+  // Removing a row with no entries clears nothing.
+  EXPECT_EQ(acc.Retract(m, BitVector::FromIndices(6, {3})), 0u);
+  // Remove the remaining covers.
+  EXPECT_EQ(acc.Retract(m, BitVector::FromIndices(6, {2, 5})), 2u);
+  EXPECT_TRUE(acc.result().None());
+}
+
+TEST(CountedAccumulatorTest, RandomizedRetractionMatchesRebuild) {
+  Rng rng(5150);
+  for (int trial = 0; trial < 12; ++trial) {
+    const size_t n = 10 + rng.NextBounded(300);
+    std::vector<std::pair<uint32_t, uint32_t>> entries;
+    const size_t nnz = 1 + rng.NextBounded(4 * n);
+    for (size_t i = 0; i < nnz; ++i) {
+      entries.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                           static_cast<uint32_t>(rng.NextBounded(n)));
+    }
+    BitMatrix m = BitMatrix::Build(n, n, std::move(entries));
+
+    BitVector selected(n, true);
+    CountedAccumulator acc;
+    acc.Rebuild(m, selected);
+    while (selected.Any()) {
+      // Retract a random non-empty subset of the current selection.
+      BitVector gone(n);
+      selected.ForEachSetBit([&](uint32_t r) {
+        if (rng.NextBool(0.4)) gone.Set(r);
+      });
+      if (gone.None()) gone.Set(static_cast<size_t>(selected.FindFirst()));
+      selected.AndNotWith(gone);
+      size_t before = acc.result().Count();
+      size_t cleared = acc.Retract(m, gone);
+      EXPECT_EQ(acc.result().Count(), before - cleared);
+
+      CountedAccumulator fresh;
+      fresh.Rebuild(m, selected);
+      ASSERT_EQ(acc.result(), fresh.result()) << "trial " << trial;
+      BitVector product(n);
+      m.Multiply(selected, &product);
+      ASSERT_EQ(acc.result(), product) << "trial " << trial;
+    }
+  }
+}
+
+TEST(CountedAccumulatorTest, RebuildFromHierarchicalSelector) {
+  BitMatrix m = BitMatrix::Build(5000, 5000, {{4999, 1}, {100, 4098}});
+  HierarchicalBitVector sel(5000, true);
+  CountedAccumulator acc;
+  acc.Rebuild(m, sel);
+  EXPECT_TRUE(acc.result().Test(1));
+  EXPECT_TRUE(acc.result().Test(4098));
+  EXPECT_EQ(acc.result().Count(), 2u);
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "util/hierarchical_bitvector.h"
 #include "util/rng.h"
 
 namespace sparqlsim::util {
@@ -205,6 +209,124 @@ TEST(BitVectorTest, RandomizedAgainstReferenceSet) {
       expected += ref[i] ? 1 : 0;
     }
     EXPECT_EQ(v.Count(), expected);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HierarchicalBitVector: the summary level must never change observable
+// results, only skip work — every test compares against plain BitVector.
+// ---------------------------------------------------------------------------
+
+TEST(HierarchicalBitVectorTest, ConstructSetTestCount) {
+  HierarchicalBitVector h(10000);
+  EXPECT_EQ(h.size(), 10000u);
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_FALSE(h.Any());
+  h.Set(0);
+  h.Set(4095);   // last bit of block 0
+  h.Set(4096);   // first bit of block 1
+  h.Set(9999);
+  EXPECT_TRUE(h.Test(0));
+  EXPECT_TRUE(h.Test(4095));
+  EXPECT_TRUE(h.Test(4096));
+  EXPECT_TRUE(h.Test(9999));
+  EXPECT_FALSE(h.Test(1));
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_TRUE(h.Any());
+}
+
+TEST(HierarchicalBitVectorTest, AdoptsBitVectorAndExportsIt) {
+  BitVector flat = BitVector::FromIndices(9000, {7, 4100, 8999});
+  HierarchicalBitVector h(flat);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.bits(), flat);
+  BitVector back = std::move(h).TakeBits();
+  EXPECT_EQ(back, flat);
+}
+
+TEST(HierarchicalBitVectorTest, SetAllClearAllAndTailInvariant) {
+  HierarchicalBitVector h(4100, true);  // spills 4 bits into block 1
+  EXPECT_EQ(h.Count(), 4100u);
+  // The flat vector's tail invariant must hold so word-wise comparison
+  // against a plain all-ones vector agrees.
+  EXPECT_EQ(h.bits(), BitVector(4100, true));
+  h.ClearAll();
+  EXPECT_FALSE(h.Any());
+  EXPECT_EQ(h.Count(), 0u);
+  h.SetAll();
+  EXPECT_EQ(h.Count(), 4100u);
+}
+
+TEST(HierarchicalBitVectorTest, AndWithMatchesPlainAndSkipsZeroBlocks) {
+  const size_t n = 3 * HierarchicalBitVector::kBitsPerBlock + 77;
+  // Only block 1 occupied; blocks 0, 2, 3 are zero and must be skipped.
+  HierarchicalBitVector h(n);
+  h.Set(HierarchicalBitVector::kBitsPerBlock + 5);
+  h.Set(HierarchicalBitVector::kBitsPerBlock + 600);
+  BitVector mask(n, true);
+  mask.Reset(HierarchicalBitVector::kBitsPerBlock + 5);
+
+  BitVector plain = h.bits();
+  bool plain_changed = plain.AndWith(mask);
+  EXPECT_TRUE(h.AndWith(mask));
+  EXPECT_TRUE(plain_changed);
+  EXPECT_EQ(h.bits(), plain);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.blocks_skipped(), 3u);
+  EXPECT_EQ(h.TakeBlocksSkipped(), 3u);
+  EXPECT_EQ(h.blocks_skipped(), 0u);
+}
+
+TEST(HierarchicalBitVectorTest, AndWithHierarchicalDrainsForeignZeroBlocks) {
+  const size_t n = 2 * HierarchicalBitVector::kBitsPerBlock + 10;
+  HierarchicalBitVector a(n, true);
+  HierarchicalBitVector b(n);
+  b.Set(3);  // block 0 partially live in b; blocks 1, 2 zero in b
+  EXPECT_TRUE(a.AndWith(b));
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_TRUE(a.Test(3));
+  // Draining must update a's summary: a second AND now skips everything.
+  a.TakeBlocksSkipped();
+  EXPECT_FALSE(a.AndWith(b));
+  EXPECT_EQ(a.blocks_skipped(), 2u);  // the two drained blocks
+}
+
+TEST(HierarchicalBitVectorTest, ForEachSetBitAscendingAcrossBlocks) {
+  const size_t n = 4 * HierarchicalBitVector::kBitsPerBlock;
+  std::vector<uint32_t> indices = {
+      0, 63, 64, 4095, 4096,
+      static_cast<uint32_t>(3 * HierarchicalBitVector::kBitsPerBlock + 1),
+      static_cast<uint32_t>(n - 1)};
+  HierarchicalBitVector h{BitVector::FromIndices(n, indices)};
+  std::vector<uint32_t> seen;
+  h.ForEachSetBit([&](uint32_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, indices);
+}
+
+TEST(HierarchicalBitVectorTest, RandomizedDifferentialAgainstBitVector) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 15; ++trial) {
+    const size_t n = 1 + rng.NextBounded(3 * 4096 + 500);
+    BitVector flat(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextBool(trial % 2 == 0 ? 0.3 : 0.005)) flat.Set(i);
+    }
+    HierarchicalBitVector h(flat);
+    // A sequence of shrinking ANDs, mirrored on the plain vector.
+    for (int step = 0; step < 4; ++step) {
+      BitVector mask(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBool(0.7)) mask.Set(i);
+      }
+      bool plain_changed = flat.AndWith(mask);
+      EXPECT_EQ(h.AndWith(mask), plain_changed);
+      ASSERT_EQ(h.bits(), flat) << "trial " << trial << " step " << step;
+      EXPECT_EQ(h.Count(), flat.Count());
+      EXPECT_EQ(h.Any(), flat.Any());
+      std::vector<uint32_t> seen;
+      h.ForEachSetBit([&](uint32_t i) { seen.push_back(i); });
+      EXPECT_EQ(seen, flat.ToIndexVector());
+    }
   }
 }
 

@@ -10,6 +10,9 @@
 #   SPARQLSIM_DBPEDIA_SCALE     (default 1)
 #   SPARQLSIM_BENCH_REPS        (default 2)
 #   SPARQLSIM_PARALLEL_QUERIES  (default 6)
+#   SPARQLSIM_DB                optional ingested .gdb all benches run on
+#   SPARQLSIM_PUBLISH_SUMMARY   1 to also copy the consolidated summary to
+#                               the committed repo-root BENCH_summary.json
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -84,7 +87,7 @@ run_bench() {
 # throughput benches (which write their own structured JSON).
 run_bench bench_table2
 run_bench bench_table3
-run_bench bench_ablation
+SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_ablation.json" run_bench bench_ablation
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_parallel.json" run_bench bench_parallel
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_service.json" run_bench bench_service
 
@@ -120,9 +123,36 @@ SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_service.json" run_bench bench_service
     awk '{printf "%s    \"%s\": %s", (NR==1 ? "" : ",\n"), $1, $2} END {print ""}' \
       "$RUN_DIR/wallclock.txt"
   fi
-  echo '  }'
+  echo '  },'
+  # The benches honor SPARQLSIM_DB (real ingested database) — record which
+  # data the numbers were measured on.
+  echo "  \"db\": \"${SPARQLSIM_DB:-synthetic}\","
+  # Structured per-bench JSON, embedded verbatim: the ablation block carries
+  # the incremental-evaluation on/off comparison (seconds + per-variant
+  # rounds/updates/delta counters), parallel the thread scaling, service the
+  # throughput numbers.
+  echo '  "ablation":'
+  cat "$RUN_DIR/bench_ablation.json"
+  echo '  ,"parallel":'
+  cat "$RUN_DIR/bench_parallel.json"
+  echo '  ,"service":'
+  cat "$RUN_DIR/bench_service.json"
   echo '}'
 } >"$RUN_DIR/summary.json"
+
+# Publish the consolidated summary at the repo root (committed, unlike the
+# gitignored bench/results/ archive) so the perf trajectory is tracked
+# PR-over-PR. Opt-in (SPARQLSIM_PUBLISH_SUMMARY=1): a casual smoke run must
+# not silently overwrite the committed trajectory artifact with tiny-scale
+# numbers.
+if [[ "${SPARQLSIM_PUBLISH_SUMMARY:-0}" == "1" ]]; then
+  cp "$RUN_DIR/summary.json" "$REPO_ROOT/BENCH_summary.json"
+  echo "[run_benches] consolidated summary published to" \
+       "$REPO_ROOT/BENCH_summary.json" >&2
+else
+  echo "[run_benches] SPARQLSIM_PUBLISH_SUMMARY!=1: leaving the committed" \
+       "BENCH_summary.json untouched (summary at $RUN_DIR/summary.json)" >&2
+fi
 
 echo "[run_benches] results archived in $RUN_DIR" >&2
 ls -l "$RUN_DIR" >&2

@@ -16,6 +16,9 @@
 //   --queue-depth N     max queries in flight before Submit blocks (def. 64)
 //   --cache-capacity N  LRU entry bound per cache layer (0 = unbounded)
 //   --cache|--no-cache  toggle the SOI/solution cache (on by default)
+//   --incremental|--no-incremental
+//                       toggle delta-driven fixpoint evaluation (on by
+//                       default; bit-identical results either way)
 //   --repeat K          submit the whole file K times (default 1); repeats
 //                       exercise dedup + the solution cache
 //   --db FILE           read the database from binary SQSIMDB1 format
@@ -49,6 +52,7 @@ int Usage() {
       stderr,
       "usage: sparqlsim_batch [--threads N] [--queue-depth N]\n"
       "                       [--cache-capacity N] [--cache|--no-cache]\n"
+      "                       [--incremental|--no-incremental]\n"
       "                       [--repeat K] [--db file.gdb] [data.nt] "
       "<queries.rq>\n"
       "       query file: one query per blank-line-separated block, "
@@ -158,6 +162,14 @@ int Run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.solver.cache_sois = options.solver.cache_solutions = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--incremental") == 0) {
+      options.solver.incremental_eval = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      options.solver.incremental_eval = false;
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) == 0) return Usage();

@@ -19,6 +19,9 @@
 //                 re-enables; on by default).
 //   --cache-capacity N  bound each cache layer to N entries (LRU
 //                 eviction); 0 = unbounded (the default).
+//   --no-incremental  disable delta-driven incremental fixpoint evaluation
+//                 (--incremental re-enables; on by default). Purely a
+//                 wall-clock knob: results are bit-identical either way.
 //   --db FILE     read the database from a binary SQSIMDB1 file (as written
 //                 by sparqlsim_ingest or `convert`) and drop the positional
 //                 <data> argument: `sparqlsim --db lubm.gdb stats`.
@@ -57,7 +60,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
-               "[--cache-capacity N] [--db file.gdb] "
+               "[--cache-capacity N] [--incremental|--no-incremental] "
+               "[--db file.gdb] "
                "<stats|query|prune|sim|bench|explain|convert> "
                "[data.nt] [query.rq|-] [out.nt]\n"
                "       (the positional data argument is omitted when "
@@ -261,6 +265,14 @@ int Run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--no-cache") == 0) {
       options.cache_sois = options.cache_solutions = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--incremental") == 0) {
+      options.incremental_eval = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      options.incremental_eval = false;
       continue;
     }
     args.push_back(argv[i]);
