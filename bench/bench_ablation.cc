@@ -3,7 +3,9 @@
 //   * sparsity-first inequality ordering on/off,
 //   * row-wise vs column-wise vs dynamic product evaluation,
 //   * delta-driven incremental evaluation on/off (counted accumulators +
-//     hierarchical zero-block skipping vs full re-evaluation each round).
+//     hierarchical zero-block skipping vs full re-evaluation each round),
+//   * candidate-set kernel mode: occupancy-driven GAP/RLE compression
+//     (auto) vs forced dense vs forced compressed.
 // The paper's observation: no single heuristic fits all inputs, but the
 // dynamic default is never far from the best. The incremental pair is the
 // headline comparison of this bench: identical fixpoint trajectory
@@ -52,6 +54,17 @@ std::vector<Variant> Variants() {
   variants.push_back({"col-only", make(true, true, Mode::kColumnWise, true)});
   variants.push_back(
       {"naive(12,noord,row,noinc)", make(false, false, Mode::kRowWise, false)});
+  // Kernel-mode pair: the default above is kernel=auto already, so these
+  // isolate the representation axis against it. Trajectories must match
+  // the default row exactly (asserted after each query).
+  {
+    sim::SolverOptions dense = make(true, true, Mode::kDynamic, true);
+    dense.kernel_mode = sim::SolverOptions::KernelMode::kDense;
+    variants.push_back({"kernel-dense", dense});
+    sim::SolverOptions comp = make(true, true, Mode::kDynamic, true);
+    comp.kernel_mode = sim::SolverOptions::KernelMode::kCompressed;
+    variants.push_back({"kernel-compressed", comp});
+  }
   return variants;
 }
 
@@ -66,6 +79,8 @@ struct VariantRow {
   size_t full_evals = 0;
   size_t cols_cleared = 0;
   size_t blocks_skipped = 0;
+  size_t compressed_ops = 0;
+  size_t repr_compressions = 0;
 };
 
 struct QueryResult {
@@ -102,6 +117,8 @@ QueryResult RunQuery(const char* id, const graph::GraphDatabase& db,
     row.full_evals = solution.stats.full_evals;
     row.cols_cleared = solution.stats.cols_cleared;
     row.blocks_skipped = solution.stats.blocks_skipped;
+    row.compressed_ops = solution.stats.compressed_ops;
+    row.repr_compressions = solution.stats.repr_compressions;
     result.rows.push_back(row);
     std::printf("  %-26s %12.5f %7zu %8zu %9zu %9zu %10zu %11zu\n", v.name,
                 seconds, row.rounds, row.updates, row.row_evals, row.col_evals,
@@ -121,6 +138,19 @@ QueryResult RunQuery(const char* id, const graph::GraphDatabase& db,
                  inc_off.updates);
     std::abort();
   }
+  // Same gate for the kernel-mode pair: dense and compressed must walk
+  // the default (auto) trajectory bit for bit.
+  for (const VariantRow& r : result.rows) {
+    if (r.name.rfind("kernel-", 0) != 0) continue;
+    if (r.rounds != inc_on.rounds || r.updates != inc_on.updates) {
+      std::fprintf(stderr,
+                   "FATAL: %s trajectory diverged from kernel-auto on %s "
+                   "(rounds %zu vs %zu, updates %zu vs %zu)\n",
+                   r.name.c_str(), id, r.rounds, inc_on.rounds, r.updates,
+                   inc_on.updates);
+      std::abort();
+    }
+  }
   return result;
 }
 
@@ -138,6 +168,29 @@ void WriteJson(const std::vector<QueryResult>& results, FILE* out) {
                "%.6f, \"speedup\": %.3f},\n",
                on_total, off_total,
                on_total > 0 ? off_total / on_total : 0.0);
+  // Kernel-mode aggregate: wall-clock per representation policy and the
+  // compressed-kernel executions the auto / forced-compressed rows
+  // performed (nonzero compressed_ops is the engagement evidence).
+  double dense_total = 0, comp_total = 0;
+  size_t auto_ops = 0, comp_ops = 0, auto_compressions = 0;
+  for (const QueryResult& q : results) {
+    auto_ops += q.rows[0].compressed_ops;
+    auto_compressions += q.rows[0].repr_compressions;
+    for (const VariantRow& r : q.rows) {
+      if (r.name == "kernel-dense") dense_total += r.seconds;
+      if (r.name == "kernel-compressed") {
+        comp_total += r.seconds;
+        comp_ops += r.compressed_ops;
+      }
+    }
+  }
+  std::fprintf(out,
+               "  \"kernel\": {\"seconds_auto\": %.6f, \"seconds_dense\": "
+               "%.6f, \"seconds_compressed\": %.6f, \"compressed_ops_auto\": "
+               "%zu, \"compressed_ops_compressed\": %zu, "
+               "\"auto_compressions\": %zu},\n",
+               on_total, dense_total, comp_total, auto_ops, comp_ops,
+               auto_compressions);
   std::fprintf(out, "  \"queries\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const QueryResult& q = results[i];
@@ -148,10 +201,12 @@ void WriteJson(const std::vector<QueryResult>& results, FILE* out) {
                    "      {\"name\": \"%s\", \"seconds\": %.6f, \"rounds\": "
                    "%zu, \"updates\": %zu, \"row_evals\": %zu, \"col_evals\": "
                    "%zu, \"delta_evals\": %zu, \"full_evals\": %zu, "
-                   "\"cols_cleared\": %zu, \"blocks_skipped\": %zu}%s\n",
+                   "\"cols_cleared\": %zu, \"blocks_skipped\": %zu, "
+                   "\"compressed_ops\": %zu, \"repr_compressions\": %zu}%s\n",
                    r.name.c_str(), r.seconds, r.rounds, r.updates, r.row_evals,
                    r.col_evals, r.delta_evals, r.full_evals, r.cols_cleared,
-                   r.blocks_skipped, j + 1 == q.rows.size() ? "" : ",");
+                   r.blocks_skipped, r.compressed_ops, r.repr_compressions,
+                   j + 1 == q.rows.size() ? "" : ",");
     }
     std::fprintf(out, "    ]}%s\n", i + 1 == results.size() ? "" : ",");
   }

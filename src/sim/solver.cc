@@ -4,8 +4,8 @@
 #include <memory>
 #include <numeric>
 
+#include "util/candidate_set.h"
 #include "util/counted_accumulator.h"
-#include "util/hierarchical_bitvector.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -90,6 +90,19 @@ constexpr size_t kAccBuildFraction = 8;
 /// and keep the plain removed-vs-full comparison).
 constexpr size_t kProbePenalty = 8;
 
+/// SolverOptions::KernelMode → the per-set representation policy.
+util::CandidateSet::Policy PolicyFor(SolverOptions::KernelMode mode) {
+  switch (mode) {
+    case SolverOptions::KernelMode::kDense:
+      return util::CandidateSet::Policy::kDense;
+    case SolverOptions::KernelMode::kCompressed:
+      return util::CandidateSet::Policy::kCompressed;
+    case SolverOptions::KernelMode::kAuto:
+      break;
+  }
+  return util::CandidateSet::Policy::kAuto;
+}
+
 }  // namespace
 
 void SolveStats::Accumulate(const SolveStats& other) {
@@ -104,6 +117,9 @@ void SolveStats::Accumulate(const SolveStats& other) {
   acc_rebuilds += other.acc_rebuilds;
   cols_cleared += other.cols_cleared;
   blocks_skipped += other.blocks_skipped;
+  compressed_ops += other.compressed_ops;
+  repr_compressions += other.repr_compressions;
+  repr_decompressions += other.repr_decompressions;
   parallel_rounds += other.parallel_rounds;
   max_round_width = std::max(max_round_width, other.max_round_width);
   threads_used = std::max(threads_used, other.threads_used);
@@ -146,19 +162,22 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   // Empty slots only: every candidate vector is moved in from chi at the
   // end of the solve, so allocating dense vectors here would be wasted.
   solution.candidates.resize(num_vars);
-  // Candidate sets live in hierarchical form for the whole fixpoint so the
-  // AND/Count/product kernels can skip zero blocks as the sets collapse;
-  // the flat vectors are moved into the Solution at the end.
-  std::vector<util::HierarchicalBitVector> chi;
+  // Candidate sets live behind the CandidateSet representation switch for
+  // the whole fixpoint: hierarchical-dense (zero-block skipping over the
+  // SIMD word kernels) or GAP/RLE-compressed per the kernel mode, with
+  // kAuto compressing sets as they collapse. Flat vectors are moved into
+  // the Solution at the end.
+  const util::CandidateSet::Policy policy = PolicyFor(options.kernel_mode);
+  std::vector<util::CandidateSet> chi;
   chi.reserve(num_vars);
-  for (size_t v = 0; v < num_vars; ++v) chi.emplace_back(n);
+  for (size_t v = 0; v < num_vars; ++v) chi.emplace_back(n, policy);
   std::vector<size_t> counts(num_vars, 0);
 
   // --- Initialization: Eq. (12) or Eq. (13), constants per Sect. 4.5. ---
   for (size_t v = 0; v < num_vars; ++v) {
     if (soi.unsatisfiable_vars[v]) continue;  // stays empty
     if (initial != nullptr) {
-      chi[v] = util::HierarchicalBitVector((*initial)[v]);
+      chi[v] = util::CandidateSet((*initial)[v], policy);
       if (soi.constants[v]) {
         util::BitVector pin(n);
         pin.Set(*soi.constants[v]);
@@ -252,7 +271,7 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     if (idx >= num_matrix) {
       const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
       kinds[k] = EvalKind::kSub;
-      masks[k] = chi[s.rhs].bits();
+      chi[s.rhs].MaterializeInto(&masks[k]);
       mask_ptrs[k] = &masks[k];
       return;
     }
@@ -317,23 +336,37 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
             // selection; the build subsumes this retraction and makes
             // every later one O(1) per column.
             rebuilt[k] = 1;
-            st.acc.Rebuild(a, chi[m.rhs]);
+            if (chi[m.rhs].compressed()) {
+              // Rebuild's wide branch probes Test per non-empty row; give
+              // it a flat O(1)-Test view of a compressed selection.
+              util::BitVector sel;
+              chi[m.rhs].MaterializeInto(&sel);
+              st.acc.Rebuild(a, sel);
+            } else {
+              st.acc.Rebuild(a, chi[m.rhs]);
+            }
             st.acc_valid = true;
             st.product_valid = false;
           } else if (removed != 0) {
             util::BitVector gone = st.last_rhs;
-            gone.AndNotWith(chi[m.rhs].bits());
+            chi[m.rhs].ClearBitsIn(&gone);
             if (st.acc_valid) {
               cleared[k] = st.acc.Retract(a, gone);
             } else {
               // Snapshot tier: only columns of removed rows can leave the
               // product; re-check each with one early-exit cover probe
-              // (column c of A is row c of A^T).
+              // (column c of A is row c of A^T). Probes hit Test() per
+              // neighbour, which is a stream scan on a compressed set, so
+              // pay one O(n/64) materialization up front instead.
+              util::BitVector rhs_view;
+              const bool probe_view = chi[m.rhs].compressed();
+              if (probe_view) chi[m.rhs].MaterializeInto(&rhs_view);
               size_t probe_cleared = 0;
               gone.ForEachSetBit([&](uint32_t r) {
                 for (uint32_t c : a.Row(r)) {
                   if (st.product.Test(c) &&
-                      !a_t.RowIntersects(c, chi[m.rhs].bits())) {
+                      !(probe_view ? a_t.RowIntersectsAny(c, rhs_view)
+                                   : a_t.RowIntersectsAny(c, chi[m.rhs]))) {
                     st.product.Reset(c);
                     ++probe_cleared;
                   }
@@ -343,7 +376,7 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
             }
           }
           if (removed != 0 || rebuilt[k]) {
-            st.last_rhs = chi[m.rhs].bits();
+            chi[m.rhs].MaterializeInto(&st.last_rhs);
             st.last_count = counts[m.rhs];
           }
           // Either tier's product equals chi(rhs) *b A exactly — the same
@@ -362,7 +395,7 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
         masks[k].Resize(n);
         a.Multiply(chi[m.rhs], &masks[k]);
         st.product = masks[k];
-        st.last_rhs = chi[m.rhs].bits();
+        chi[m.rhs].MaterializeInto(&st.last_rhs);
         st.last_count = counts[m.rhs];
         st.product_valid = true;
         st.acc_valid = false;
@@ -379,11 +412,21 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     } else {
       kinds[k] = EvalKind::kCol;
       // Keep candidate j of lhs iff column j of A intersects chi(rhs);
-      // column j of A is row j of A^T.
-      masks[k] = chi[m.lhs].bits();
-      masks[k].ForEachSetBit([&](uint32_t j) {
-        if (!a_t.RowIntersects(j, chi[m.rhs].bits())) masks[k].Reset(j);
-      });
+      // column j of A is row j of A^T. The per-candidate probes call
+      // Test() once per neighbour — a stream scan on a compressed rhs —
+      // so flatten a compressed chi(rhs) once before the loop.
+      chi[m.lhs].MaterializeInto(&masks[k]);
+      if (chi[m.rhs].compressed()) {
+        util::BitVector rhs_view;
+        chi[m.rhs].MaterializeInto(&rhs_view);
+        masks[k].ForEachSetBit([&](uint32_t j) {
+          if (!a_t.RowIntersectsAny(j, rhs_view)) masks[k].Reset(j);
+        });
+      } else {
+        masks[k].ForEachSetBit([&](uint32_t j) {
+          if (!a_t.RowIntersectsAny(j, chi[m.rhs])) masks[k].Reset(j);
+        });
+      }
       mask_ptrs[k] = &masks[k];
     }
   };
@@ -460,10 +503,14 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     std::fill(work.queued.begin(), work.queued.end(), false);
   }
 
-  // Export the flat candidate vectors; harvest the hierarchical skip
-  // counters first (TakeBits discards the summary level).
+  // Export the flat candidate vectors; harvest the representation-layer
+  // counters first (TakeBits discards the summary/run structure).
   for (size_t v = 0; v < num_vars; ++v) {
-    stats.blocks_skipped += chi[v].TakeBlocksSkipped();
+    const util::CandidateSet::ReprStats repr = chi[v].TakeStats();
+    stats.blocks_skipped += repr.blocks_skipped;
+    stats.compressed_ops += repr.compressed_ops;
+    stats.repr_compressions += repr.compressions;
+    stats.repr_decompressions += repr.decompressions;
     solution.candidates[v] = std::move(chi[v]).TakeBits();
   }
 

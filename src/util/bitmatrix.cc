@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/candidate_set.h"
 #include "util/hierarchical_bitvector.h"
 
 namespace sparqlsim::util {
@@ -58,6 +59,22 @@ void BitMatrix::Multiply(const BitVector& x, BitVector* out) const {
 void BitMatrix::Multiply(const HierarchicalBitVector& x, BitVector* out) const {
   assert(x.size() == rows_);
   assert(out->size() == cols_);
+  MultiplyImpl(x, out);
+}
+
+void BitMatrix::Multiply(const CandidateSet& x, BitVector* out) const {
+  assert(x.size() == rows_);
+  assert(out->size() == cols_);
+  // MultiplyImpl's wide branch probes x.Test per non-empty row, which is a
+  // run-stream scan on a compressed set. When that branch would be taken,
+  // flatten the runs once (O(size/64)) and multiply the flat vector; the
+  // narrow branch streams ForEachSetBit and is cheap in either layout.
+  if (x.compressed() && x.Count() * 8 >= NonEmptyRows().size()) {
+    BitVector flat;
+    x.MaterializeInto(&flat);
+    MultiplyImpl(flat, out);
+    return;
+  }
   MultiplyImpl(x, out);
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/simd_dispatch.h"
+
 namespace sparqlsim::util {
 
 namespace {
@@ -53,6 +55,25 @@ bool BitVector::Test(size_t i) const {
   return (words_[i / kWordBits] >> (i % kWordBits)) & 1;
 }
 
+void BitVector::SetRange(size_t begin, size_t len) {
+  if (len == 0) return;
+  assert(begin + len <= num_bits_);
+  const size_t end = begin + len;  // exclusive
+  size_t w = begin / kWordBits;
+  const size_t w_last = (end - 1) / kWordBits;
+  const uint64_t first_mask = ~uint64_t{0} << (begin % kWordBits);
+  const uint64_t last_mask =
+      end % kWordBits == 0 ? ~uint64_t{0}
+                           : (uint64_t{1} << (end % kWordBits)) - 1;
+  if (w == w_last) {
+    words_[w] |= first_mask & last_mask;
+    return;
+  }
+  words_[w] |= first_mask;
+  for (++w; w < w_last; ++w) words_[w] = ~uint64_t{0};
+  words_[w_last] |= last_mask;
+}
+
 void BitVector::SetAll() {
   std::fill(words_.begin(), words_.end(), ~uint64_t{0});
   MaskTail();
@@ -61,9 +82,7 @@ void BitVector::SetAll() {
 void BitVector::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
 
 size_t BitVector::Count() const {
-  size_t count = 0;
-  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
-  return count;
+  return ActiveKernels().popcount_words(words_.data(), words_.size());
 }
 
 bool BitVector::Any() const {
@@ -76,11 +95,8 @@ bool BitVector::Any() const {
 bool BitVector::AndWith(const BitVector& other) {
   assert(num_bits_ == other.num_bits_);
   bool changed = false;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    uint64_t updated = words_[i] & other.words_[i];
-    changed |= (updated != words_[i]);
-    words_[i] = updated;
-  }
+  ActiveKernels().and_words(words_.data(), other.words_.data(), words_.size(),
+                            &changed);
   return changed;
 }
 

@@ -44,6 +44,10 @@ class BitVector {
   void Assign(size_t i, bool value);
   bool Test(size_t i) const;
 
+  /// Sets the `len` bits starting at `begin` (word-filled, not per-bit);
+  /// the run materialization path of the gap-compressed representation.
+  void SetRange(size_t begin, size_t len);
+
   /// Sets all bits to one / zero.
   void SetAll();
   void ClearAll();

@@ -1,0 +1,271 @@
+#include "util/candidate_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sparqlsim::util {
+
+namespace {
+
+/// Emits the runs of `word >> 0 .. take` (take <= 64 bits) into the
+/// writer, counting the one-bits kept.
+void EmitWordRuns(uint64_t word, size_t take, GapWriter* writer,
+                  size_t* ones_kept) {
+  size_t p = 0;
+  while (p < take) {
+    const uint64_t rest = word >> p;
+    if (rest == 0) {
+      writer->Append(false, take - p);
+      return;
+    }
+    const unsigned zeros =
+        (rest & 1) ? 0 : static_cast<unsigned>(__builtin_ctzll(rest));
+    if (zeros != 0) {
+      const size_t z = std::min<size_t>(zeros, take - p);
+      writer->Append(false, z);
+      p += z;
+      if (p >= take) return;
+    }
+    const uint64_t inv = ~(word >> p);
+    size_t ones = inv == 0 ? 64 : static_cast<size_t>(__builtin_ctzll(inv));
+    ones = std::min(ones, take - p);
+    writer->Append(true, ones);
+    *ones_kept += ones;
+    p += ones;
+  }
+}
+
+/// Streams the one-run [start, start+len) of a compressed set masked by
+/// `words` into the writer; surviving sub-runs only.
+void EmitMaskedRun(const uint64_t* words, size_t start, size_t len,
+                   GapWriter* writer, size_t* ones_kept) {
+  size_t bit = start;
+  const size_t end = start + len;
+  while (bit < end) {
+    const size_t w = bit / BitVector::kWordBits;
+    const size_t off = bit % BitVector::kWordBits;
+    const size_t take = std::min(BitVector::kWordBits - off, end - bit);
+    // The run claims bits [off, off+take) of this word; everything the
+    // mask keeps there survives, the rest becomes zero-runs.
+    const uint64_t mask =
+        take == BitVector::kWordBits
+            ? ~uint64_t{0}
+            : ((uint64_t{1} << take) - 1) << off;
+    EmitWordRuns((words[w] & mask) >> off, take, writer, ones_kept);
+    bit += take;
+  }
+}
+
+}  // namespace
+
+CandidateSet::CandidateSet(size_t num_bits, Policy policy)
+    : policy_(policy), num_bits_(num_bits), dense_(num_bits) {
+  Reconsider();
+}
+
+CandidateSet::CandidateSet(BitVector bits, Policy policy)
+    : policy_(policy),
+      num_bits_(bits.size()),
+      count_(bits.Count()),
+      dense_(std::move(bits)) {
+  Reconsider();
+}
+
+bool CandidateSet::Test(size_t i) const {
+  assert(i < num_bits_);
+  if (!compressed_) return dense_.Test(i);
+  GapReader reader(gap_);
+  uint64_t run = 0;
+  size_t pos = 0;
+  bool value = false;
+  while (reader.ReadRun(&run)) {
+    pos += run;
+    if (i < pos) return value;
+    value = !value;
+  }
+  return false;
+}
+
+void CandidateSet::Set(size_t i) {
+  assert(i < num_bits_);
+  // Single-bit writes happen only during solver initialization (constant
+  // pins); decompress-set-reconsider keeps the layout rule a pure
+  // function of the resulting occupancy.
+  if (compressed_) Decompress();
+  if (!dense_.Test(i)) {
+    dense_.Set(i);
+    ++count_;
+  }
+  Reconsider();
+}
+
+void CandidateSet::SetAll() {
+  if (compressed_) {
+    // One all-ones run; no word materialization.
+    GapWriter writer;
+    writer.Append(true, num_bits_);
+    gap_ = writer.Take();
+    ++stats_.compressed_ops;
+  } else {
+    dense_.SetAll();
+  }
+  count_ = num_bits_;
+  Reconsider();
+}
+
+void CandidateSet::ClearAll() {
+  if (compressed_) {
+    // Draining in place is a compressed-form op: re-encode as one
+    // zero-run, no words touched.
+    GapWriter writer;
+    writer.Append(false, num_bits_);
+    gap_ = writer.Take();
+    ++stats_.compressed_ops;
+  } else {
+    dense_.ClearAll();
+  }
+  count_ = 0;
+  Reconsider();
+}
+
+bool CandidateSet::AndWith(const BitVector& other) {
+  assert(other.size() == num_bits_);
+  if (count_ == 0) return false;
+  if (compressed_) {
+    const bool changed = AndWithCompressed(other);
+    if (changed) Reconsider();
+    return changed;
+  }
+  const bool changed = dense_.AndWith(other);
+  if (changed) {
+    count_ = dense_.Count();
+    Reconsider();
+  }
+  return changed;
+}
+
+bool CandidateSet::AndWithCompressed(const BitVector& other) {
+  GapReader reader(gap_);
+  GapWriter writer;
+  const uint64_t* words = other.words();
+  uint64_t run = 0;
+  size_t pos = 0;
+  size_t kept = 0;
+  bool value = false;
+  while (reader.ReadRun(&run)) {
+    if (value) {
+      EmitMaskedRun(words, pos, run, &writer, &kept);
+    } else {
+      writer.Append(false, run);
+    }
+    pos += run;
+    value = !value;
+  }
+  assert(!reader.malformed() && pos == num_bits_);
+  ++stats_.compressed_ops;
+  // AND only clears bits, so "anything changed" is exactly "the count
+  // dropped" — and an unchanged result needs no buffer swap.
+  if (kept == count_) return false;
+  gap_ = writer.Take();
+  count_ = kept;
+  return true;
+}
+
+void CandidateSet::ClearBitsIn(BitVector* target) const {
+  assert(target->size() == num_bits_);
+  if (!compressed_) {
+    target->AndNotWith(dense_.bits());
+    return;
+  }
+  GapReader reader(gap_);
+  uint64_t run = 0;
+  size_t pos = 0;
+  bool value = false;
+  while (reader.ReadRun(&run)) {
+    if (value) {
+      for (uint64_t i = 0; i < run; ++i) target->Reset(pos + i);
+    }
+    pos += run;
+    value = !value;
+  }
+}
+
+void CandidateSet::MaterializeInto(BitVector* out) const {
+  if (!compressed_) {
+    *out = dense_.bits();
+    return;
+  }
+  out->Resize(num_bits_);
+  out->ClearAll();
+  GapReader reader(gap_);
+  uint64_t run = 0;
+  size_t pos = 0;
+  bool value = false;
+  while (reader.ReadRun(&run)) {
+    if (value) out->SetRange(pos, run);
+    pos += run;
+    value = !value;
+  }
+}
+
+BitVector CandidateSet::ToBitVector() const {
+  BitVector out;
+  MaterializeInto(&out);
+  return out;
+}
+
+BitVector CandidateSet::TakeBits() && {
+  if (!compressed_) return std::move(dense_).TakeBits();
+  return ToBitVector();
+}
+
+CandidateSet::ReprStats CandidateSet::TakeStats() {
+  stats_.blocks_skipped += dense_.TakeBlocksSkipped();
+  ReprStats taken = stats_;
+  stats_ = ReprStats{};
+  return taken;
+}
+
+void CandidateSet::Reconsider() {
+  switch (policy_) {
+    case Policy::kDense:
+      if (compressed_) Decompress();
+      return;
+    case Policy::kCompressed:
+      if (!compressed_) Compress();
+      return;
+    case Policy::kAuto:
+      if (!compressed_) {
+        if (num_bits_ >= kMinCompressBits &&
+            count_ * kCompressDivisor < num_bits_) {
+          Compress();
+        }
+      } else if (count_ * kDecompressDivisor >= num_bits_) {
+        Decompress();
+      }
+      return;
+  }
+}
+
+void CandidateSet::Compress() {
+  assert(!compressed_);
+  // The dense layer's skip counter survives the layout switch.
+  stats_.blocks_skipped += dense_.TakeBlocksSkipped();
+  gap_ = GapCodec::Encode(dense_.bits());
+  dense_ = HierarchicalBitVector();
+  compressed_ = true;
+  ++stats_.compressions;
+}
+
+void CandidateSet::Decompress() {
+  assert(compressed_);
+  BitVector bits;
+  MaterializeInto(&bits);
+  dense_ = HierarchicalBitVector(std::move(bits));
+  gap_.clear();
+  gap_.shrink_to_fit();
+  compressed_ = false;
+  ++stats_.decompressions;
+}
+
+}  // namespace sparqlsim::util

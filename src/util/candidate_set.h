@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitvector.h"
+#include "util/gap_codec.h"
+#include "util/hierarchical_bitvector.h"
+
+namespace sparqlsim::util {
+
+/// One candidate set chi(v) behind a dense/compressed representation
+/// switch (the speedex/GraphAligner sparse-row idiom: two layouts, one
+/// interface, chosen per set by occupancy).
+///
+/// The dense layout is the HierarchicalBitVector the solver has always
+/// used: a word array plus a one-bit-per-64-word-block summary, with the
+/// runtime-dispatched SIMD lanes (util/simd_dispatch.h) underneath its
+/// zero-block skipping. The compressed layout is a GAP/RLE run list in
+/// GapCodec's varint format, and its kernels — AndWith, Count,
+/// ForEachSetBit, Test, and the BitMatrix::Multiply overload that takes a
+/// CandidateSet selector — walk the runs directly; the set is never
+/// inflated to words to perform them. That matters in the late-fixpoint
+/// regime the paper's L0-style queries spend most of their rounds in:
+/// once a selection has collapsed to a few survivors, a dense AND still
+/// touches every live block, while the compressed AND touches a handful
+/// of runs.
+///
+/// The policy is fixed per set at construction:
+///   kDense       never compress (the scalar-dense path is the
+///                differential oracle every other configuration is
+///                verified against)
+///   kCompressed  always compressed (any occupancy — the forced mode the
+///                differential tests sweep)
+///   kAuto        occupancy-driven with hysteresis: compress when the set
+///                drops below 1/kCompressDivisor occupancy (and is at
+///                least kMinCompressBits wide), decompress when it rises
+///                back above 1/kDecompressDivisor. The two thresholds
+///                differ so a set oscillating around one boundary cannot
+///                thrash; in the solver the question is mostly academic
+///                because candidate sets only ever shrink.
+///
+/// Representation choice is a pure function of (policy, size, count), so
+/// solves are bit-identical — solutions, counters, and fixpoint
+/// trajectory — across every policy and thread count; the solver's
+/// differential suites assert exactly that. Mutators run only in the
+/// solver's single-threaded init/merge phases; the const readers
+/// (Count/Test/Any/ForEachSetBit/MaterializeInto) keep no counters and
+/// are safe for the concurrent evaluation phase.
+///
+/// Count() is O(1): the exact cardinality is maintained across mutations
+/// in both layouts (the compressed AND computes it while streaming runs;
+/// the dense AND re-counts only when something changed).
+class CandidateSet {
+ public:
+  enum class Policy : uint8_t { kAuto, kDense, kCompressed };
+
+  /// Occupancy hysteresis of the kAuto policy (see class comment).
+  static constexpr size_t kCompressDivisor = 64;
+  static constexpr size_t kDecompressDivisor = 32;
+  static constexpr size_t kMinCompressBits = 512;
+
+  /// Representation-layer counters, harvested once per solve into
+  /// SolveStats. Mutator-side only: compressed_ops counts kernel
+  /// executions performed on the compressed layout (ANDs and drains), the
+  /// switch counters count layout transitions either way.
+  struct ReprStats {
+    uint64_t compressed_ops = 0;
+    uint64_t compressions = 0;
+    uint64_t decompressions = 0;
+    uint64_t blocks_skipped = 0;  // dense-layout zero blocks skipped
+  };
+
+  CandidateSet() = default;
+
+  /// An all-zero set of `num_bits` bits.
+  explicit CandidateSet(size_t num_bits, Policy policy = Policy::kAuto);
+
+  /// Adopts an existing vector (moved in) and applies the policy.
+  CandidateSet(BitVector bits, Policy policy);
+
+  size_t size() const { return num_bits_; }
+  Policy policy() const { return policy_; }
+  bool compressed() const { return compressed_; }
+
+  /// Exact cardinality, O(1) (maintained across mutations).
+  size_t Count() const { return count_; }
+  bool Any() const { return count_ != 0; }
+
+  bool Test(size_t i) const;
+
+  /// Mutators (solver init/merge phases only — single-threaded there).
+  void Set(size_t i);
+  void SetAll();
+  void ClearAll();
+
+  /// this &= other. Returns true iff any bit changed. Runs directly on
+  /// whichever layout the set currently has; compressed sets re-encode
+  /// their surviving runs without materializing words.
+  bool AndWith(const BitVector& other);
+
+  /// target &= ~(*this): clears target's bits where this set has them.
+  /// The solver's removal-delta computation (gone = last snapshot minus
+  /// current chi) against a possibly-compressed current chi.
+  void ClearBitsIn(BitVector* target) const;
+
+  /// Calls fn(index) for every set bit in ascending order. Dense sets
+  /// skip zero blocks via the summary; compressed sets walk their runs.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    if (!compressed_) {
+      dense_.ForEachSetBit(std::forward<Fn>(fn));
+      return;
+    }
+    GapReader reader(gap_);
+    uint64_t run = 0;
+    size_t pos = 0;
+    bool value = false;
+    while (reader.ReadRun(&run)) {
+      if (value) {
+        for (uint64_t i = 0; i < run; ++i) {
+          fn(static_cast<uint32_t>(pos + i));
+        }
+      }
+      pos += run;
+      value = !value;
+    }
+  }
+
+  /// Writes a dense copy into `out` (resized to size()). Used where the
+  /// solver genuinely needs a flat vector: subordination masks, the
+  /// column-wise mask seed, and the incremental snapshot tier.
+  void MaterializeInto(BitVector* out) const;
+  BitVector ToBitVector() const;
+
+  /// Moves the flat vector out (compressed sets are materialized first).
+  /// Used to export solved candidate sets into a Solution.
+  BitVector TakeBits() &&;
+
+  /// Returns and resets the representation counters (stat harvesting at
+  /// solve end); folds in the dense layer's block-skip counter.
+  ReprStats TakeStats();
+
+ private:
+  /// Re-evaluates the layout after a mutation (pure function of policy,
+  /// size, and count — that purity is the determinism guarantee).
+  void Reconsider();
+  void Compress();
+  void Decompress();
+  /// AND over the compressed layout: streams this set's runs, masks the
+  /// one-runs against `other`'s words, re-encodes the survivors.
+  bool AndWithCompressed(const BitVector& other);
+
+  Policy policy_ = Policy::kAuto;
+  bool compressed_ = false;
+  size_t num_bits_ = 0;
+  size_t count_ = 0;
+  HierarchicalBitVector dense_;  // valid iff !compressed_
+  std::vector<uint8_t> gap_;     // valid iff compressed_ (GapCodec format)
+  ReprStats stats_;
+};
+
+}  // namespace sparqlsim::util

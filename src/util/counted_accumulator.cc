@@ -9,14 +9,20 @@ size_t CountedAccumulator::Retract(const BitMatrix& a,
   size_t cleared = 0;
   removed.ForEachSetBit([&](uint32_t r) {
     for (uint32_t c : a.Row(r)) {
-      assert(counts_[c] > 0 && "retracting a row that was never selected");
-      if (--counts_[c] == 0) {
+      assert(count(c) > 0 && "retracting a row that was never selected");
+      if (Decrement(c) == 0) {
         result_.Reset(c);
         ++cleared;
       }
     }
   });
   return cleared;
+}
+
+void CountedAccumulator::Widen() {
+  assert(!wide_);
+  counts32_.assign(counts16_.begin(), counts16_.end());
+  wide_ = true;
 }
 
 }  // namespace sparqlsim::util

@@ -29,22 +29,38 @@ namespace sparqlsim::util {
 /// The accumulator is a plain value type; the solver keeps one per matrix
 /// inequality (lazily, from the second row-wise evaluation on) alongside a
 /// snapshot of the selection it was built against.
+///
+/// Counts are stored as 16-bit lanes by default — cover counts above 65535
+/// need a column covered by more selected rows than most per-label
+/// matrices have rows, so the narrow lanes halve^2 the footprint of the
+/// per-inequality state the incremental tier keeps resident. The fallback
+/// is exact: the first increment that would overflow a lane widens every
+/// count to 32 bits before applying it, and the accumulator stays wide
+/// (sticky) until it is re-sized for a different matrix. Every observable
+/// count is identical to what a plain uint32 array would hold.
 class CountedAccumulator {
  public:
   /// Rebuilds counts/result from scratch for the given selection. Cost:
   /// the nnz of the selected rows plus clearing the *previous* product's
   /// columns (counts is zero wherever the product bit is clear — a class
   /// invariant — so a full O(cols) wipe is only ever paid on first use).
-  /// `SelT` is BitVector or HierarchicalBitVector (anything with
-  /// Count/ForEachSetBit/Test over row indices).
+  /// `SelT` is BitVector, HierarchicalBitVector, or CandidateSet
+  /// (anything with Count/ForEachSetBit/Test over row indices).
   template <typename SelT>
   void Rebuild(const BitMatrix& a, const SelT& selected) {
-    if (counts_.size() != a.cols()) {
-      counts_.assign(a.cols(), 0);
+    if (counts16_.size() != a.cols()) {
+      wide_ = false;
+      counts32_.clear();
+      counts32_.shrink_to_fit();
+      counts16_.assign(a.cols(), 0);
       result_.Resize(a.cols());
       result_.ClearAll();
     } else {
-      result_.ForEachSetBit([&](uint32_t c) { counts_[c] = 0; });
+      if (wide_) {
+        result_.ForEachSetBit([&](uint32_t c) { counts32_[c] = 0; });
+      } else {
+        result_.ForEachSetBit([&](uint32_t c) { counts16_[c] = 0; });
+      }
       result_.ClearAll();
     }
     // Mirror Multiply's adaptive rule: walk the selection (row lookup
@@ -72,17 +88,44 @@ class CountedAccumulator {
   /// The product x *b A for the current selection x.
   const BitVector& result() const { return result_; }
 
-  /// Cover count of column c (test/debug accessor).
-  uint32_t count(size_t c) const { return counts_[c]; }
+  /// Cover count of column c (test/debug accessor). Exact regardless of
+  /// lane width.
+  uint32_t count(size_t c) const {
+    return wide_ ? counts32_[c] : counts16_[c];
+  }
+
+  /// True once an overflow forced the 32-bit lanes (test/debug accessor).
+  bool wide() const { return wide_; }
 
  private:
   void AddRow(std::span<const uint32_t> row) {
-    for (uint32_t c : row) {
-      if (counts_[c]++ == 0) result_.Set(c);
-    }
+    for (uint32_t c : row) Increment(c);
   }
 
-  std::vector<uint32_t> counts_;
+  void Increment(uint32_t c) {
+    if (!wide_) {
+      uint16_t& narrow = counts16_[c];
+      if (narrow != UINT16_MAX) {
+        if (narrow++ == 0) result_.Set(c);
+        return;
+      }
+      Widen();
+    }
+    if (counts32_[c]++ == 0) result_.Set(c);
+  }
+
+  /// Returns the decremented count of column c.
+  uint32_t Decrement(uint32_t c) {
+    return wide_ ? --counts32_[c] : static_cast<uint32_t>(--counts16_[c]);
+  }
+
+  /// Copies every 16-bit lane into 32-bit lanes; called at most once per
+  /// matrix size (wide_ is sticky until the accumulator is re-sized).
+  void Widen();
+
+  bool wide_ = false;
+  std::vector<uint16_t> counts16_;  // primary lanes (authoritative iff !wide_)
+  std::vector<uint32_t> counts32_;  // overflow lanes (authoritative iff wide_)
   BitVector result_;
 };
 

@@ -1,6 +1,7 @@
 #include "util/gap_codec.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace sparqlsim::util {
 
@@ -23,61 +24,119 @@ size_t VarintSize(uint64_t value) {
   return n;
 }
 
-uint64_t ReadVarint(const std::vector<uint8_t>& buffer, size_t* pos) {
-  uint64_t value = 0;
-  unsigned shift = 0;
-  while (true) {
-    assert(*pos < buffer.size());
-    uint8_t byte = buffer[(*pos)++];
-    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
-    if ((byte & 0x80) == 0) break;
-    shift += 7;
-  }
-  return value;
-}
-
-/// Calls fn(run_length) for every alternating run, starting with zeros.
+/// Calls fn(value, run_length) for every alternating run of `bits`,
+/// starting with the (possibly empty) zero-run. Word-wise: cost is
+/// O(words + runs), not O(bits). Consecutive same-value stretches may be
+/// reported as several calls (at word boundaries); sinks that need merged
+/// runs go through GapWriter, which merges on append.
 template <typename Fn>
-void ForEachRun(const BitVector& bits, Fn&& fn) {
-  size_t pos = 0;
-  bool current = false;
-  while (pos < bits.size()) {
-    size_t run = 0;
-    while (pos + run < bits.size() && bits.Test(pos + run) == current) ++run;
-    fn(run);
-    pos += run;
-    current = !current;
+void ForEachRunWordwise(const BitVector& bits, Fn&& fn) {
+  const uint64_t* words = bits.words();
+  size_t remaining = bits.size();
+  for (size_t w = 0; remaining > 0; ++w) {
+    const size_t take = remaining < 64 ? remaining : 64;
+    const uint64_t word = words[w];
+    size_t p = 0;
+    while (p < take) {
+      const uint64_t rest = word >> p;
+      if (rest == 0) {
+        fn(false, take - p);
+        break;
+      }
+      const unsigned zeros =
+          (rest & 1) ? 0 : static_cast<unsigned>(__builtin_ctzll(rest));
+      if (zeros != 0) {
+        fn(false, zeros < take - p ? zeros : take - p);
+        p += zeros;
+        if (p >= take) break;
+      }
+      const uint64_t inv = ~(word >> p);
+      unsigned ones =
+          inv == 0 ? 64 : static_cast<unsigned>(__builtin_ctzll(inv));
+      if (ones > take - p) ones = static_cast<unsigned>(take - p);
+      fn(true, ones);
+      p += ones;
+    }
+    remaining -= take;
   }
 }
 
 }  // namespace
 
-std::vector<uint8_t> GapCodec::Encode(const BitVector& bits) {
-  std::vector<uint8_t> out;
-  ForEachRun(bits, [&](size_t run) { AppendVarint(run, &out); });
-  return out;
+void GapWriter::Flush() {
+  // The canonical stream starts with a zero-run even when it is empty;
+  // interior runs are never empty because Append merges same-value runs.
+  if (pending_ == 0 && emitted_any_) return;
+  AppendVarint(pending_, &out_);
+  bits_written_ += pending_;
+  pending_ = 0;
+  emitted_any_ = true;
 }
 
-BitVector GapCodec::Decode(const std::vector<uint8_t>& buffer, size_t num_bits) {
+std::vector<uint8_t> GapCodec::Encode(const BitVector& bits) {
+  GapWriter writer;
+  ForEachRunWordwise(bits,
+                     [&](bool value, size_t run) { writer.Append(value, run); });
+  return writer.Take();
+}
+
+std::optional<BitVector> GapCodec::TryDecode(std::span<const uint8_t> buffer,
+                                             size_t num_bits) {
   BitVector bits(num_bits);
-  size_t pos = 0;
+  GapReader reader(buffer);
+  uint64_t run = 0;
   size_t bit = 0;
-  bool current = false;
-  while (pos < buffer.size() && bit < num_bits) {
-    uint64_t run = ReadVarint(buffer, &pos);
-    if (current) {
-      for (uint64_t i = 0; i < run; ++i) bits.Set(bit + i);
-    }
+  bool value = false;
+  bool first = true;
+  while (reader.ReadRun(&run)) {
+    if (run == 0 && !first) return std::nullopt;  // interior empty run
+    first = false;
+    if (run > num_bits - bit) return std::nullopt;  // overshoots the universe
+    if (value) bits.SetRange(bit, run);
     bit += run;
-    current = !current;
+    value = !value;
+    if (bit == num_bits && !reader.AtEnd()) return std::nullopt;  // trailing
   }
-  assert(bit <= num_bits);
+  if (reader.malformed()) return std::nullopt;
+  if (bit != num_bits) return std::nullopt;  // undershoots the universe
   return bits;
 }
 
+BitVector GapCodec::Decode(const std::vector<uint8_t>& buffer,
+                           size_t num_bits) {
+  std::optional<BitVector> decoded = TryDecode(buffer, num_bits);
+  if (!decoded) {
+    std::fprintf(stderr,
+                 "GapCodec::Decode: malformed %zu-byte buffer for %zu bits\n",
+                 buffer.size(), num_bits);
+    std::abort();
+  }
+  return *std::move(decoded);
+}
+
 size_t GapCodec::EncodedSize(const BitVector& bits) {
+  // Mirror Encode exactly (merged runs, leading zero-run) but only sum
+  // varint widths.
   size_t total = 0;
-  ForEachRun(bits, [&](size_t run) { total += VarintSize(run); });
+  bool pending_value = false;
+  uint64_t pending = 0;
+  bool emitted_any = false;
+  auto flush = [&] {
+    if (pending == 0 && emitted_any) return;
+    total += VarintSize(pending);
+    pending = 0;
+    emitted_any = true;
+  };
+  ForEachRunWordwise(bits, [&](bool value, size_t run) {
+    if (value == pending_value) {
+      pending += run;
+      return;
+    }
+    flush();
+    pending_value = value;
+    pending = run;
+  });
+  if (pending > 0) flush();
   return total;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/simd_dispatch.h"
+
 namespace sparqlsim::util {
 
 namespace {
@@ -48,10 +50,10 @@ size_t HierarchicalBitVector::Count() const {
     while (sword != 0) {
       const size_t block = sw * 64 + static_cast<size_t>(__builtin_ctzll(sword));
       sword &= sword - 1;
-      const size_t w_end = std::min((block + 1) * kWordsPerBlock, word_count);
-      for (size_t w = block * kWordsPerBlock; w < w_end; ++w) {
-        count += static_cast<size_t>(__builtin_popcountll(words[w]));
-      }
+      const size_t w_begin = block * kWordsPerBlock;
+      const size_t w_end = std::min(w_begin + kWordsPerBlock, word_count);
+      count += ActiveKernels().popcount_words(words + w_begin,
+                                              w_end - w_begin);
     }
   }
   return count;
@@ -79,14 +81,12 @@ bool HierarchicalBitVector::AndWith(const BitVector& other) {
     while (sword != 0) {
       const size_t block = sw * 64 + static_cast<size_t>(__builtin_ctzll(sword));
       sword &= sword - 1;
-      const size_t w_end = std::min((block + 1) * kWordsPerBlock, word_count);
-      uint64_t live = 0;
-      for (size_t i = block * kWordsPerBlock; i < w_end; ++i) {
-        const uint64_t updated = w[i] & ow[i];
-        changed |= (updated != w[i]);
-        w[i] = updated;
-        live |= updated;
-      }
+      const size_t w_begin = block * kWordsPerBlock;
+      const size_t w_end = std::min(w_begin + kWordsPerBlock, word_count);
+      bool block_changed = false;
+      const uint64_t live = ActiveKernels().and_words(
+          w + w_begin, ow + w_begin, w_end - w_begin, &block_changed);
+      changed |= block_changed;
       if (live == 0) {
         summary_[sw] &= ~(uint64_t{1} << (block % 64));
       }
@@ -121,13 +121,10 @@ bool HierarchicalBitVector::AndWith(const HierarchicalBitVector& other) {
         changed = true;
         continue;
       }
-      uint64_t live = 0;
-      for (size_t i = w_begin; i < w_end; ++i) {
-        const uint64_t updated = w[i] & ow[i];
-        changed |= (updated != w[i]);
-        w[i] = updated;
-        live |= updated;
-      }
+      bool block_changed = false;
+      const uint64_t live = ActiveKernels().and_words(
+          w + w_begin, ow + w_begin, w_end - w_begin, &block_changed);
+      changed |= block_changed;
       if (live == 0) {
         summary_[sw] &= ~bit;
       }

@@ -1,0 +1,158 @@
+#include "util/simd_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__amd64__)
+#define SPARQLSIM_X86_64 1
+#include <immintrin.h>
+#endif
+
+namespace sparqlsim::util {
+
+namespace {
+
+uint64_t AndWordsScalar(uint64_t* dst, const uint64_t* src, size_t n,
+                        bool* changed) {
+  uint64_t live = 0;
+  uint64_t diff = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t updated = dst[i] & src[i];
+    diff |= updated ^ dst[i];
+    dst[i] = updated;
+    live |= updated;
+  }
+  *changed = diff != 0;
+  return live;
+}
+
+size_t PopcountWordsScalar(const uint64_t* words, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(words[i]));
+  }
+  return count;
+}
+
+constexpr WordKernels kScalarKernels = {AndWordsScalar, PopcountWordsScalar,
+                                        "scalar"};
+
+#if defined(SPARQLSIM_X86_64)
+
+__attribute__((target("avx2"))) uint64_t AndWordsAvx2(uint64_t* dst,
+                                                      const uint64_t* src,
+                                                      size_t n,
+                                                      bool* changed) {
+  __m256i live = _mm256_setzero_si256();
+  __m256i diff = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i updated = _mm256_and_si256(d, s);
+    diff = _mm256_or_si256(diff, _mm256_xor_si256(updated, d));
+    live = _mm256_or_si256(live, updated);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), updated);
+  }
+  alignas(32) uint64_t live_lanes[4];
+  alignas(32) uint64_t diff_lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(live_lanes), live);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(diff_lanes), diff);
+  uint64_t live_or =
+      live_lanes[0] | live_lanes[1] | live_lanes[2] | live_lanes[3];
+  uint64_t diff_or =
+      diff_lanes[0] | diff_lanes[1] | diff_lanes[2] | diff_lanes[3];
+  for (; i < n; ++i) {
+    const uint64_t updated = dst[i] & src[i];
+    diff_or |= updated ^ dst[i];
+    dst[i] = updated;
+    live_or |= updated;
+  }
+  *changed = diff_or != 0;
+  return live_or;
+}
+
+/// Mula's vectorized popcount: per-byte nibble lookup via vpshufb, summed
+/// horizontally with vpsadbw into 64-bit lanes.
+__attribute__((target("avx2"))) size_t PopcountWordsAvx2(const uint64_t* words,
+                                                         size_t n) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,  //
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i bytes = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                          _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  size_t count =
+      static_cast<size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    count += static_cast<size_t>(__builtin_popcountll(words[i]));
+  }
+  return count;
+}
+
+constexpr WordKernels kAvx2Kernels = {AndWordsAvx2, PopcountWordsAvx2, "avx2"};
+
+#endif  // SPARQLSIM_X86_64
+
+SimdLevel ResolveActiveLevel() {
+  SimdLevel level = DetectedSimdLevel();
+  const char* env = std::getenv("SPARQLSIM_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
+        std::strcmp(env, "0") == 0) {
+      level = SimdLevel::kScalar;
+    } else if (std::strcmp(env, "avx2") == 0) {
+      // Request, not demand: unsupported hardware still gets scalar.
+      if (DetectedSimdLevel() != SimdLevel::kAvx2) level = SimdLevel::kScalar;
+    }
+    // "auto" or anything unrecognized keeps the detected level.
+  }
+  return level;
+}
+
+}  // namespace
+
+SimdLevel DetectedSimdLevel() {
+#if defined(SPARQLSIM_X86_64)
+  return __builtin_cpu_supports("avx2") ? SimdLevel::kAvx2
+                                        : SimdLevel::kScalar;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = ResolveActiveLevel();
+  return level;
+}
+
+const WordKernels& KernelsFor(SimdLevel level) {
+#if defined(SPARQLSIM_X86_64)
+  if (level == SimdLevel::kAvx2 && DetectedSimdLevel() == SimdLevel::kAvx2) {
+    return kAvx2Kernels;
+  }
+#else
+  (void)level;
+#endif
+  return kScalarKernels;
+}
+
+const WordKernels& ActiveKernels() {
+  static const WordKernels& kernels = KernelsFor(ActiveSimdLevel());
+  return kernels;
+}
+
+}  // namespace sparqlsim::util

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sparqlsim::util {
+
+/// Runtime-dispatched word-array kernels for the bit-vector hot loops.
+///
+/// The solver's AND/popcount kernels run over contiguous 64-bit word
+/// spans (whole vectors, or the 64-word payload blocks the
+/// HierarchicalBitVector summary selects). On x86-64 an AVX2 lane
+/// processes four words per step; everywhere else — and whenever the
+/// `SPARQLSIM_SIMD=scalar` environment override is set — the scalar loop
+/// runs instead. Both implementations are exact and produce bit-identical
+/// results by construction (AND and popcount have no reassociation
+/// freedom), so the scalar path doubles as the differential oracle the
+/// kernel-verification harness compares against; KernelsFor() exposes
+/// every table so tests can drive both paths in one process.
+///
+/// Dispatch resolves once per process (first use) from CPUID plus the
+/// environment:
+///   SPARQLSIM_SIMD=scalar|off  force the scalar fallback (CI exercises
+///                              this leg on AVX2 runners)
+///   SPARQLSIM_SIMD=avx2        request AVX2 (scalar if unsupported)
+///   unset / auto               use the best supported level
+enum class SimdLevel : uint8_t { kScalar = 0, kAvx2 = 1 };
+
+struct WordKernels {
+  /// dst[i] &= src[i] for i in [0, n). Returns the OR of the resulting
+  /// words (zero iff the span drained) and sets *changed iff any word
+  /// changed value.
+  uint64_t (*and_words)(uint64_t* dst, const uint64_t* src, size_t n,
+                        bool* changed);
+  /// Sum of popcounts over words[0, n).
+  size_t (*popcount_words)(const uint64_t* words, size_t n);
+  const char* name;
+};
+
+/// Highest level the CPU supports (ignores the environment override).
+SimdLevel DetectedSimdLevel();
+
+/// The level dispatch resolved to: CPU support clamped by SPARQLSIM_SIMD.
+/// Cached after the first call.
+SimdLevel ActiveSimdLevel();
+
+/// Kernel table for an explicit level; requesting an unsupported level
+/// returns the scalar table. Intended for the differential harness.
+const WordKernels& KernelsFor(SimdLevel level);
+
+/// Kernel table for ActiveSimdLevel().
+const WordKernels& ActiveKernels();
+
+}  // namespace sparqlsim::util

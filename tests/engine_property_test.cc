@@ -339,5 +339,68 @@ TEST_P(CacheConsistency, CachedAndUncachedPruningAgreeAcrossGenerations) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheConsistency,
                          ::testing::Range<uint64_t>(1, 9));
 
+// ---------------------------------------------------------------------------
+// Kernel-mode property: the candidate-set representation switch must be
+// invisible to pruning — every kernel mode, thread count, and incremental
+// setting produces the same PruneReport on the same random queries.
+// ---------------------------------------------------------------------------
+
+class KernelModeConsistency : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelModeConsistency, PruningAgreesAcrossKernelModes) {
+  const uint64_t seed = GetParam();
+  util::Rng rng(seed * 277 + 11);
+
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 60;
+  config.num_edges = 240;
+  config.num_labels = 3;
+  config.seed = seed;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  std::vector<sparql::Query> pool;
+  for (int q = 0; q < 4; ++q) {
+    auto parsed =
+        sparql::Parser::Parse(RandomPruneQuery(rng, config.num_nodes));
+    ASSERT_TRUE(parsed.ok()) << parsed.error_message();
+    pool.push_back(std::move(parsed).value());
+  }
+
+  auto options = [](sim::SolverOptions::KernelMode kernel, size_t threads,
+                    bool incremental) {
+    sim::SolverOptions o;
+    o.kernel_mode = kernel;
+    o.num_threads = threads;
+    o.incremental_eval = incremental;
+    o.cache_sois = false;  // differential runs must actually solve
+    o.cache_solutions = false;
+    return o;
+  };
+
+  sim::SimEngine reference(
+      &db, options(sim::SolverOptions::KernelMode::kDense, 1, false));
+  for (auto kernel : {sim::SolverOptions::KernelMode::kAuto,
+                      sim::SolverOptions::KernelMode::kDense,
+                      sim::SolverOptions::KernelMode::kCompressed}) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+      for (bool incremental : {false, true}) {
+        sim::SimEngine engine(&db, options(kernel, threads, incremental));
+        for (size_t q = 0; q < pool.size(); ++q) {
+          ExpectSamePrune(
+              engine.Prune(pool[q]), reference.Prune(pool[q]),
+              "seed " + std::to_string(seed) + " kernel " +
+                  std::to_string(static_cast<int>(kernel)) + " threads " +
+                  std::to_string(threads) + " inc " +
+                  std::to_string(incremental) + " query " +
+                  std::to_string(q));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelModeConsistency,
+                         ::testing::Range<uint64_t>(1, 5));
+
 }  // namespace
 }  // namespace sparqlsim::engine

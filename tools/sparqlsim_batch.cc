@@ -19,6 +19,8 @@
 //   --incremental|--no-incremental
 //                       toggle delta-driven fixpoint evaluation (on by
 //                       default; bit-identical results either way)
+//   --kernel MODE       candidate-set representation: auto (default),
+//                       dense, or compressed (bit-identical results)
 //   --repeat K          submit the whole file K times (default 1); repeats
 //                       exercise dedup + the solution cache
 //   --db FILE           read the database from binary SQSIMDB1 format
@@ -53,6 +55,7 @@ int Usage() {
       "usage: sparqlsim_batch [--threads N] [--queue-depth N]\n"
       "                       [--cache-capacity N] [--cache|--no-cache]\n"
       "                       [--incremental|--no-incremental]\n"
+      "                       [--kernel auto|dense|compressed]\n"
       "                       [--repeat K] [--db file.gdb] [data.nt] "
       "<queries.rq>\n"
       "       query file: one query per blank-line-separated block, "
@@ -170,6 +173,20 @@ int Run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--no-incremental") == 0) {
       options.solver.incremental_eval = false;
+      continue;
+    }
+    if (!flag_value(i, "--kernel", &value)) return Usage();
+    if (value != nullptr) {
+      if (std::strcmp(value, "auto") == 0) {
+        options.solver.kernel_mode = sim::SolverOptions::KernelMode::kAuto;
+      } else if (std::strcmp(value, "dense") == 0) {
+        options.solver.kernel_mode = sim::SolverOptions::KernelMode::kDense;
+      } else if (std::strcmp(value, "compressed") == 0) {
+        options.solver.kernel_mode =
+            sim::SolverOptions::KernelMode::kCompressed;
+      } else {
+        return Usage();
+      }
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) == 0) return Usage();

@@ -22,6 +22,10 @@
 //   --no-incremental  disable delta-driven incremental fixpoint evaluation
 //                 (--incremental re-enables; on by default). Purely a
 //                 wall-clock knob: results are bit-identical either way.
+//   --kernel MODE candidate-set representation kernel: auto (occupancy-
+//                 driven GAP/RLE compression with hysteresis, the default),
+//                 dense (always hierarchical word arrays), or compressed
+//                 (always run lists). Bit-identical results in every mode.
 //   --db FILE     read the database from a binary SQSIMDB1 file (as written
 //                 by sparqlsim_ingest or `convert`) and drop the positional
 //                 <data> argument: `sparqlsim --db lubm.gdb stats`.
@@ -61,6 +65,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
                "[--cache-capacity N] [--incremental|--no-incremental] "
+               "[--kernel auto|dense|compressed] "
                "[--db file.gdb] "
                "<stats|query|prune|sim|bench|explain|convert> "
                "[data.nt] [query.rq|-] [out.nt]\n"
@@ -223,6 +228,22 @@ int Run(int argc, char** argv) {
     options.num_threads = static_cast<size_t>(value);
     return true;
   };
+  auto parse_kernel = [&](const char* text) {
+    if (std::strcmp(text, "auto") == 0) {
+      options.kernel_mode = sim::SolverOptions::KernelMode::kAuto;
+    } else if (std::strcmp(text, "dense") == 0) {
+      options.kernel_mode = sim::SolverOptions::KernelMode::kDense;
+    } else if (std::strcmp(text, "compressed") == 0) {
+      options.kernel_mode = sim::SolverOptions::KernelMode::kCompressed;
+    } else {
+      std::fprintf(stderr,
+                   "invalid --kernel value '%s' "
+                   "(expected auto|dense|compressed)\n",
+                   text);
+      return false;
+    }
+    return true;
+  };
   auto parse_capacity = [&](const char* text) {
     char* end = nullptr;
     unsigned long long value = std::strtoull(text, &end, 10);
@@ -273,6 +294,14 @@ int Run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--no-incremental") == 0) {
       options.incremental_eval = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--kernel") == 0) {
+      if (i + 1 >= argc || !parse_kernel(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      if (!parse_kernel(argv[i] + 9)) return Usage();
       continue;
     }
     args.push_back(argv[i]);
