@@ -1,6 +1,8 @@
 #include "graph/graph_database.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 #include <utility>
 
 #include "util/gap_codec.h"
@@ -74,9 +76,50 @@ GraphDatabase GraphDatabaseBuilder::Build() && {
   return db;
 }
 
-void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
+uint64_t GraphDatabase::NextGeneration() {
   static std::atomic<uint64_t> next_generation{0};
-  generation_ = next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+  return next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::shared_ptr<const GraphDatabase::PredicateSlab> GraphDatabase::BuildSlab(
+    size_t n, std::vector<std::pair<uint32_t, uint32_t>>&& entries) {
+  auto slab = std::make_shared<PredicateSlab>();
+  slab->forward = util::BitMatrix::Build(n, n, std::move(entries));
+  slab->backward = slab->forward.Transposed();
+  slab->forward_summary = slab->forward.RowSummary();
+  slab->backward_summary = slab->backward.RowSummary();
+  slab->subject_count = slab->forward_summary.Count();
+  slab->object_count = slab->backward_summary.Count();
+  // Columns of F_p are objects and columns of B_p are subjects, so the
+  // empty-column counts fall out of the summary counts for free — no
+  // extra O(nnz) pass.
+  slab->empty_forward_cols = n - slab->object_count;
+  slab->empty_backward_cols = n - slab->subject_count;
+  return slab;
+}
+
+bool GraphDatabase::SlabMatches(
+    const PredicateSlab& slab,
+    const std::vector<std::pair<uint32_t, uint32_t>>& entries) {
+  if (slab.forward.Nnz() != entries.size()) return false;
+  // Lockstep walk: the matrix streams its triples in ascending
+  // (subject, object) order, which is exactly the order of the sorted,
+  // deduplicated entry list.
+  size_t pos = 0;
+  const auto rows = slab.forward.NonEmptyRows();
+  for (size_t slot = 0; slot < rows.size(); ++slot) {
+    for (uint32_t o : slab.forward.RowBySlot(slot)) {
+      if (entries[pos].first != rows[slot] || entries[pos].second != o) {
+        return false;
+      }
+      ++pos;
+    }
+  }
+  return true;
+}
+
+void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
+  generation_ = NextGeneration();
 
   size_t n = NumNodes();
   size_t num_predicates = NumPredicates();
@@ -89,31 +132,47 @@ void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
   triples.clear();
   triples.shrink_to_fit();
 
-  forward_.reserve(num_predicates);
-  backward_.reserve(num_predicates);
-  forward_summary_.reserve(num_predicates);
-  backward_summary_.reserve(num_predicates);
-  subject_counts_.resize(num_predicates);
-  object_counts_.resize(num_predicates);
-  empty_forward_cols_.resize(num_predicates);
-  empty_backward_cols_.resize(num_predicates);
+  slabs_.clear();
+  slabs_.reserve(num_predicates);
   num_triples_ = 0;
-
   for (size_t p = 0; p < num_predicates; ++p) {
-    forward_.push_back(
-        util::BitMatrix::Build(n, n, std::move(per_predicate[p])));
-    backward_.push_back(forward_.back().Transposed());
-    forward_summary_.push_back(forward_.back().RowSummary());
-    backward_summary_.push_back(backward_.back().RowSummary());
-    subject_counts_[p] = forward_summary_.back().Count();
-    object_counts_[p] = backward_summary_.back().Count();
-    // Columns of F_p are objects and columns of B_p are subjects, so the
-    // empty-column counts fall out of the summary counts for free — no
-    // extra O(nnz) pass.
-    empty_forward_cols_[p] = n - object_counts_[p];
-    empty_backward_cols_[p] = n - subject_counts_[p];
-    num_triples_ += forward_.back().Nnz();
+    slabs_.push_back(BuildSlab(n, std::move(per_predicate[p])));
+    num_triples_ += slabs_.back()->forward.Nnz();
   }
+}
+
+GraphDatabase GraphDatabase::RebuildChanged(
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>>&& per_predicate,
+    const std::vector<bool>* touched) const {
+  const size_t n = NumNodes();
+  GraphDatabase db;
+  db.nodes_ = nodes_;
+  db.predicates_ = predicates_;
+  db.is_literal_ = is_literal_;
+  db.slabs_.reserve(slabs_.size());
+  db.num_triples_ = 0;
+  bool any_changed = false;
+  for (size_t p = 0; p < slabs_.size(); ++p) {
+    if (touched != nullptr && !(*touched)[p]) {
+      db.slabs_.push_back(slabs_[p]);
+      db.num_triples_ += slabs_[p]->forward.Nnz();
+      continue;
+    }
+    auto& entries = per_predicate[p];
+    std::sort(entries.begin(), entries.end());
+    entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+    if (SlabMatches(*slabs_[p], entries)) {
+      db.slabs_.push_back(slabs_[p]);  // COW: share the unchanged slab
+    } else {
+      db.slabs_.push_back(BuildSlab(n, std::move(entries)));
+      any_changed = true;
+    }
+    db.num_triples_ += db.slabs_.back()->forward.Nnz();
+  }
+  // A content-identical sibling keeps the generation: caches stay warm and
+  // snapshot bookkeeping treats the two as one version.
+  db.generation_ = any_changed ? NextGeneration() : generation_;
+  return db;
 }
 
 std::vector<Triple> GraphDatabase::AllTriples() const {
@@ -124,25 +183,50 @@ std::vector<Triple> GraphDatabase::AllTriples() const {
 }
 
 GraphDatabase GraphDatabase::Restrict(std::span<const Triple> kept) const {
-  GraphDatabase db;
-  db.nodes_ = nodes_;
-  db.predicates_ = predicates_;
-  db.is_literal_ = is_literal_;
-  db.BuildMatrices(std::vector<Triple>(kept.begin(), kept.end()));
-  return db;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> per_predicate(
+      NumPredicates());
+  for (const Triple& t : kept) {
+    per_predicate[t.predicate].emplace_back(t.subject, t.object);
+  }
+  return RebuildChanged(std::move(per_predicate), /*touched=*/nullptr);
+}
+
+GraphDatabase GraphDatabase::WithTriplesAdded(
+    std::span<const Triple> added) const {
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> per_predicate(
+      NumPredicates());
+  std::vector<bool> touched(NumPredicates(), false);
+  for (const Triple& t : added) {
+    per_predicate[t.predicate].emplace_back(t.subject, t.object);
+    touched[t.predicate] = true;
+  }
+  // Only predicates with additions materialize their existing triples into
+  // the entry list (RebuildChanged shares every untouched slab outright,
+  // and recognizes duplicate-only additions by its lockstep compare).
+  for (uint32_t p = 0; p < NumPredicates(); ++p) {
+    if (!touched[p]) continue;
+    per_predicate[p].reserve(per_predicate[p].size() +
+                             slabs_[p]->forward.Nnz());
+    ForEachTriple(p, [&](uint32_t s, uint32_t o) {
+      per_predicate[p].emplace_back(s, o);
+    });
+  }
+  return RebuildChanged(std::move(per_predicate), &touched);
 }
 
 size_t GraphDatabase::ApproxMatrixBytes() const {
   size_t total = 0;
-  for (const util::BitMatrix& m : forward_) total += m.ApproxBytes();
-  for (const util::BitMatrix& m : backward_) total += m.ApproxBytes();
+  for (const auto& slab : slabs_) {
+    total += slab->forward.ApproxBytes() + slab->backward.ApproxBytes();
+  }
   return total;
 }
 
 size_t GraphDatabase::GapEncodedMatrixBytes() const {
   size_t total = 0;
   size_t n = NumNodes();
-  for (const util::BitMatrix& m : forward_) {
+  for (const auto& slab : slabs_) {
+    const util::BitMatrix& m = slab->forward;
     for (uint32_t r : m.NonEmptyRows()) {
       total += util::GapCodec::EncodedSizeFromIndices(m.Row(r), n);
     }

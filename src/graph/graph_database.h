@@ -62,6 +62,13 @@ class GraphDatabaseBuilder {
 /// The per-label matrix pair is exactly what Sect. 3.2 of the paper needs:
 /// row-wise products read F_a (or B_a), and the column-wise evaluation
 /// strategy reads the respective transpose's rows.
+///
+/// Storage is copy-on-write per predicate: all per-label state (matrix
+/// pair, summaries, cardinalities) lives in one refcounted immutable slab,
+/// and copying a GraphDatabase copies slab pointers, not matrices. That
+/// makes Snapshot() O(predicates), and lets Restrict()/WithTriplesAdded()
+/// produce the next version of an evolving database while readers keep
+/// solving against the old one — the MVCC substrate of sim::QueryService.
 class GraphDatabase {
  public:
   size_t NumNodes() const { return nodes_->size(); }
@@ -69,12 +76,24 @@ class GraphDatabase {
   size_t NumTriples() const { return num_triples_; }
 
   /// Process-unique generation stamp, assigned whenever a database's
-  /// matrices are (re)built — Build(), Restrict(), binary load. Two
-  /// GraphDatabase values share a generation only if one is a copy of the
-  /// other (same immutable content), which makes the stamp a sound identity
-  /// key for caches holding per-database artifacts (sim::SoiCache):
-  /// different data can never alias a cached solution.
+  /// content changes — Build(), binary load, and any Restrict()/
+  /// WithTriplesAdded() that rebuilt at least one predicate slab. Two
+  /// GraphDatabase values share a generation only if their triple content
+  /// is identical (copies, snapshots, and no-op restrictions), which makes
+  /// the stamp a sound identity key for caches holding per-database
+  /// artifacts (sim::SoiCache): different data can never alias a cached
+  /// solution, while content-preserving versions keep their caches warm.
   uint64_t generation() const { return generation_; }
+
+  /// An immutable refcounted view of this database: shares the
+  /// dictionaries and every predicate slab (O(predicates) pointer copies,
+  /// no matrix is touched) and keeps the generation. In-flight queries pin
+  /// the snapshot they admitted under simply by holding the shared_ptr;
+  /// publishing a successor via Restrict()/WithTriplesAdded() never
+  /// invalidates or blocks a pinned snapshot.
+  std::shared_ptr<const GraphDatabase> Snapshot() const {
+    return std::make_shared<const GraphDatabase>(*this);
+  }
 
   const Dictionary& nodes() const { return *nodes_; }
   const Dictionary& predicates() const { return *predicates_; }
@@ -82,24 +101,32 @@ class GraphDatabase {
   bool IsLiteral(uint32_t node) const { return (*is_literal_)[node]; }
 
   /// Forward adjacency matrix F_p (rows: subjects, cols: objects).
-  const util::BitMatrix& Forward(uint32_t p) const { return forward_[p]; }
+  const util::BitMatrix& Forward(uint32_t p) const {
+    return slabs_[p]->forward;
+  }
   /// Backward adjacency matrix B_p = transpose of F_p.
-  const util::BitMatrix& Backward(uint32_t p) const { return backward_[p]; }
+  const util::BitMatrix& Backward(uint32_t p) const {
+    return slabs_[p]->backward;
+  }
 
   /// f^p: bit v set iff v has an outgoing p-edge (Eq. 13).
   const util::BitVector& ForwardSummary(uint32_t p) const {
-    return forward_summary_[p];
+    return slabs_[p]->forward_summary;
   }
   /// b^p: bit v set iff v has an incoming p-edge (Eq. 13).
   const util::BitVector& BackwardSummary(uint32_t p) const {
-    return backward_summary_[p];
+    return slabs_[p]->backward_summary;
   }
 
   /// Number of triples with predicate p (basic statistic for join ordering
   /// and for the solver's sparsity heuristic).
-  size_t PredicateCardinality(uint32_t p) const { return forward_[p].Nnz(); }
-  size_t DistinctSubjects(uint32_t p) const { return subject_counts_[p]; }
-  size_t DistinctObjects(uint32_t p) const { return object_counts_[p]; }
+  size_t PredicateCardinality(uint32_t p) const {
+    return slabs_[p]->forward.Nnz();
+  }
+  size_t DistinctSubjects(uint32_t p) const {
+    return slabs_[p]->subject_count;
+  }
+  size_t DistinctObjects(uint32_t p) const { return slabs_[p]->object_count; }
 
   /// Number of all-zero columns of F_p / B_p, precomputed at build time.
   /// The solver's order-by-sparsity heuristic (Sect. 3.3: inequalities
@@ -107,10 +134,10 @@ class GraphDatabase {
   /// instead of paying BitMatrix::CountEmptyColumns' O(nnz) ColSummary
   /// pass on every solve.
   size_t EmptyForwardColumns(uint32_t p) const {
-    return empty_forward_cols_[p];
+    return slabs_[p]->empty_forward_cols;
   }
   size_t EmptyBackwardColumns(uint32_t p) const {
-    return empty_backward_cols_[p];
+    return slabs_[p]->empty_backward_cols;
   }
 
   /// Calls fn(subject, object) for every triple with predicate p, in
@@ -120,7 +147,7 @@ class GraphDatabase {
   /// predicates real datasets are full of.
   template <typename Fn>
   void ForEachTriple(uint32_t p, Fn&& fn) const {
-    const util::BitMatrix& m = forward_[p];
+    const util::BitMatrix& m = slabs_[p]->forward;
     const auto rows = m.NonEmptyRows();
     for (size_t slot = 0; slot < rows.size(); ++slot) {
       for (uint32_t o : m.RowBySlot(slot)) fn(rows[slot], o);
@@ -141,7 +168,21 @@ class GraphDatabase {
   /// Builds a database over the *same* dictionaries and node universe that
   /// contains only the given triples. This is how the pruned database of
   /// Sect. 5 is constructed: ids remain comparable with the original.
+  ///
+  /// Copy-on-write: a predicate whose triple set is unchanged shares its
+  /// slab with this database (pointer copy); only changed predicates
+  /// rebuild matrices. If *no* slab changed the result keeps this
+  /// database's generation — content identity is what caches key on.
   GraphDatabase Restrict(std::span<const Triple> kept) const;
+
+  /// Copy-on-write delta ingest over the existing node and predicate
+  /// universe: the result contains this database's triples plus `added`
+  /// (ids must already be interned — growing the dictionaries would change
+  /// matrix dimensions and defeat slab sharing; intern through a builder
+  /// for that). Only predicates occurring in `added` rebuild; a predicate
+  /// whose additions were all duplicates shares its slab, and if every
+  /// addition was a duplicate the generation is kept too.
+  GraphDatabase WithTriplesAdded(std::span<const Triple> added) const;
 
   /// Total CSR footprint of all adjacency matrices.
   size_t ApproxMatrixBytes() const;
@@ -152,23 +193,51 @@ class GraphDatabase {
  private:
   friend class GraphDatabaseBuilder;
 
+  /// All per-predicate state, immutable and refcounted: the unit of
+  /// copy-on-write sharing between database versions.
+  struct PredicateSlab {
+    util::BitMatrix forward;
+    util::BitMatrix backward;
+    util::BitVector forward_summary;
+    util::BitVector backward_summary;
+    size_t subject_count = 0;
+    size_t object_count = 0;
+    size_t empty_forward_cols = 0;
+    size_t empty_backward_cols = 0;
+  };
+
   GraphDatabase() = default;
 
   void BuildMatrices(std::vector<Triple>&& triples);
+
+  /// Builds one predicate's slab from its (subject, object) pairs
+  /// (consumed; deduplicated by BitMatrix::Build).
+  static std::shared_ptr<const PredicateSlab> BuildSlab(
+      size_t n, std::vector<std::pair<uint32_t, uint32_t>>&& entries);
+
+  /// True iff the slab stores exactly the sorted, deduplicated `entries`.
+  static bool SlabMatches(
+      const PredicateSlab& slab,
+      const std::vector<std::pair<uint32_t, uint32_t>>& entries);
+
+  /// The process-unique stamp source behind generation().
+  static uint64_t NextGeneration();
+
+  /// Shared COW tail of Restrict()/WithTriplesAdded(): assembles a sibling
+  /// database from per-predicate entry lists, sharing every slab that
+  /// already stores its list and keeping the generation when all do.
+  /// When `touched` is non-null, predicates it marks false share their
+  /// slab unconditionally (their entry list is ignored).
+  GraphDatabase RebuildChanged(
+      std::vector<std::vector<std::pair<uint32_t, uint32_t>>>&& per_predicate,
+      const std::vector<bool>* touched) const;
 
   std::shared_ptr<const Dictionary> nodes_;
   std::shared_ptr<const Dictionary> predicates_;
   std::shared_ptr<const std::vector<bool>> is_literal_;
   size_t num_triples_ = 0;
   uint64_t generation_ = 0;
-  std::vector<util::BitMatrix> forward_;
-  std::vector<util::BitMatrix> backward_;
-  std::vector<util::BitVector> forward_summary_;
-  std::vector<util::BitVector> backward_summary_;
-  std::vector<size_t> subject_counts_;
-  std::vector<size_t> object_counts_;
-  std::vector<size_t> empty_forward_cols_;
-  std::vector<size_t> empty_backward_cols_;
+  std::vector<std::shared_ptr<const PredicateSlab>> slabs_;
 };
 
 }  // namespace sparqlsim::graph

@@ -1,10 +1,14 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,7 +27,8 @@ struct QueryServiceOptions {
   /// Service worker threads executing whole queries (query-level
   /// parallelism); 0 = hardware concurrency. Intra-query parallelism is a
   /// separate knob: `solver.num_threads` (default 1 keeps each query on its
-  /// worker, the right shape for a loaded server).
+  /// worker, the right shape for a loaded server). Column sharding of each
+  /// fixpoint round is a third, orthogonal knob: `solver.num_shards`.
   size_t num_workers = 0;
 
   /// Max queries admitted but not yet completed. Submit blocks once the
@@ -46,31 +51,64 @@ struct QueryServiceOptions {
   std::function<void()> solve_hook;
 };
 
+/// Per-submission knobs; the default value is the historical behavior
+/// (high priority, no deadline).
+struct SubmitOptions {
+  /// Admission class. kLow yields freed slots to every waiting kHigh
+  /// producer — bulk traffic cannot starve interactive queries; see
+  /// util::AdmissionGate.
+  util::AdmissionGate::Priority priority =
+      util::AdmissionGate::Priority::kHigh;
+
+  /// Compute budget, measured from Submit() (queueing counts against it).
+  /// On expiry the fixpoint stops at the next round boundary and the
+  /// report comes back with `truncated` set — a sound over-approximation,
+  /// never cached and never shared: a deadlined submission bypasses
+  /// in-flight coalescing entirely, so it can neither serve another
+  /// waiter a truncated answer nor be slowed down by a shared solve.
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
 /// The async front end above SimEngine: accepts queries from any thread,
-/// runs them on an owned util::ThreadPool behind a bounded admission queue,
-/// and deduplicates in-flight identical queries.
+/// runs them on an owned util::ThreadPool behind a bounded two-class
+/// admission queue, and deduplicates in-flight identical queries.
 ///
 ///   Submit(query)  ->  std::future<PruneReport>
 ///
-/// Identity for deduplication is sparql::CanonicalPatternKey of the WHERE
-/// pattern: two submissions whose patterns are canonically equal while the
-/// first is still in flight share one solve, and every waiter receives the
-/// full PruneReport (the report depends only on the pattern, so this is
-/// exact, not approximate). After the in-flight entry completes, the next
+/// Identity for deduplication is (database generation,
+/// sparql::CanonicalPatternKey of the WHERE pattern): two submissions whose
+/// patterns are canonically equal, admitted against the same snapshot,
+/// share one solve while the first is in flight, and every waiter receives
+/// the full PruneReport. After the in-flight entry completes, the next
 /// identical submission admits a fresh solve — which then typically ends in
 /// the SoiCache's solution layer instead of solver work.
 ///
-/// Determinism: every query solves through one shared SimEngine whose
-/// results are bit-identical for any thread count, and concurrent queries
-/// share only the immutable database and the mutex-guarded SoiCache (whose
-/// contents never change a result, only whether it is recomputed). A
-/// concurrent submission mix therefore yields reports bit-identical to a
-/// sequential SimEngine::Prune of the same queries, for any worker count,
-/// queue depth, or cache capacity — tests/query_service_test.cc holds this
+/// MVCC serving: the service owns an evolving chain of immutable database
+/// snapshots (graph::GraphDatabase::Snapshot(), copy-on-write per-predicate
+/// slabs). A query pins the snapshot current at its admission and solves
+/// against it for its whole lifetime; ApplyRestrict()/IngestTriples()
+/// build the successor version from the newest snapshot and publish it
+/// without blocking readers — in-flight queries keep their pinned version,
+/// later admissions see the new one. Publication never invalidates the
+/// whole cache: entries are keyed by generation, an unchanged predicate
+/// slab is shared (so a no-op publish keeps even the generation), and the
+/// cache is swept against the *live* generation set — everything some
+/// pinned snapshot can still reach — rather than nuked on every write.
+///
+/// Determinism: every query solves through a SimEngine whose results are
+/// bit-identical for any thread/shard count, and concurrent queries share
+/// only immutable snapshots and the mutex-guarded SoiCache (whose contents
+/// never change a result, only whether it is recomputed). A concurrent
+/// submission mix therefore yields reports bit-identical to a sequential
+/// SimEngine::Prune of the same queries against the snapshots they pinned,
+/// for any worker count, queue depth, or cache capacity —
+/// tests/query_service_test.cc and tests/snapshot_mvcc_test.cc hold this
 /// under TSan.
 ///
-/// Thread-safety: all public methods may be called from any thread. The
-/// destructor drains in-flight queries; do not race it against Submit.
+/// Thread-safety: all public methods may be called from any thread;
+/// writers (ApplyRestrict/IngestTriples) serialize among themselves but
+/// not against readers. The destructor drains in-flight queries; do not
+/// race it against Submit.
 class QueryService {
  public:
   struct Stats {
@@ -88,9 +126,23 @@ class QueryService {
     SoiCache::Stats cache;
     size_t cached_sois = 0;
     size_t cached_solutions = 0;
+    /// Content-changing publications (ApplyRestrict/IngestTriples that
+    /// produced a new generation; no-op writes don't count).
+    size_t snapshots_published = 0;
+    /// Snapshot versions currently reachable: the serving snapshot plus
+    /// every retired one still pinned by an in-flight query.
+    size_t snapshots_live = 0;
+    size_t peak_snapshots_live = 0;
+    /// Reports returned with `truncated` set (deadline expiry).
+    size_t deadline_truncated = 0;
+    /// Per-priority-class admission counters (waits, blocks).
+    util::AdmissionGate::Stats gate;
   };
 
-  /// Binds the service to `db` (borrowed; must outlive the service).
+  /// Binds the service to a snapshot of `*db` taken at construction
+  /// (copy-on-write: O(predicates) pointer copies). The pointee is not
+  /// retained — later changes to `*db` are invisible; evolve the service's
+  /// database through ApplyRestrict()/IngestTriples().
   explicit QueryService(const graph::GraphDatabase* db,
                         QueryServiceOptions options = {});
   /// Drains: blocks until every admitted query has completed.
@@ -102,39 +154,111 @@ class QueryService {
   /// Enqueues one query. Blocks while queue_depth queries are in flight
   /// (unless the query coalesces onto an in-flight duplicate). The future
   /// never carries an exception.
-  std::future<PruneReport> Submit(const sparql::Query& query);
+  std::future<PruneReport> Submit(const sparql::Query& query,
+                                  const SubmitOptions& submit = {});
 
   /// Submits all queries (concurrently, subject to the admission bound) and
   /// blocks for the results, returned in submission order.
   std::vector<PruneReport> SubmitBatch(
       const std::vector<sparql::Query>& queries);
 
+  /// Publishes the restriction of the *newest* snapshot to `kept` as the
+  /// next database version (see GraphDatabase::Restrict). Returns the
+  /// published generation — unchanged if the restriction was a no-op.
+  /// Does not block readers; in-flight queries finish on their pinned
+  /// snapshots.
+  uint64_t ApplyRestrict(std::span<const graph::Triple> kept);
+
+  /// Publishes the newest snapshot plus `added` (ids must be interned; see
+  /// GraphDatabase::WithTriplesAdded) as the next version. Returns the
+  /// published generation. Does not block readers.
+  uint64_t IngestTriples(std::span<const graph::Triple> added);
+
+  /// The snapshot new admissions currently pin. Holding the returned
+  /// pointer keeps the version (and its cache generation) alive.
+  std::shared_ptr<const graph::GraphDatabase> CurrentSnapshot() const;
+  /// generation() of CurrentSnapshot().
+  uint64_t CurrentGeneration() const;
+
   /// Blocks until no query is in flight.
   void Drain();
 
   Stats stats() const;
   const QueryServiceOptions& options() const { return options_; }
-  const SimEngine& engine() const { return engine_; }
+  /// The engine serving the current snapshot. Only meaningful while no
+  /// publisher runs concurrently (the engine may be retired underneath a
+  /// caller that races ApplyRestrict/IngestTriples) — a test/tool accessor.
+  const SimEngine& engine() const;
 
  private:
+  /// One published database version: the pinned snapshot and the engine
+  /// lane solving against it. Queries hold the context shared_ptr for
+  /// their whole run — destruction of a retired version happens exactly
+  /// when its last query finishes (observable through `retired_`).
+  struct SnapshotContext {
+    std::shared_ptr<const graph::GraphDatabase> db;
+    SimEngine engine;
+
+    SnapshotContext(std::shared_ptr<const graph::GraphDatabase> snapshot,
+                    const SolverOptions& solver,
+                    std::shared_ptr<SoiCache> cache)
+        : db(std::move(snapshot)),
+          engine(db.get(), solver, std::move(cache)) {}
+  };
+
   struct InFlight {
     std::vector<std::promise<PruneReport>> waiters;
   };
 
-  /// Worker-side: solve, then settle every waiter of `key`.
-  void RunQuery(const std::string& key,
+  /// Dedup key: queries pinned to different snapshot generations must not
+  /// share a solve (their answers may differ).
+  static std::string MakeKey(uint64_t generation, const std::string& key);
+
+  std::shared_ptr<const SnapshotContext> CurrentContext() const;
+
+  /// Installs `next` as the serving version; the previous context retires
+  /// (tracked weakly until its pins drain). Caller holds publish_mutex_.
+  uint64_t PublishLocked(graph::GraphDatabase&& next);
+
+  /// Drops drained retired versions, refreshes the live-snapshot gauges,
+  /// and sweeps the cache down to the live generation set. mutex_ held.
+  void SweepSnapshotsLocked();
+
+  /// Worker-side: solve on the pinned snapshot, then settle every waiter
+  /// of `full_key`.
+  void RunQuery(const std::string& full_key,
+                std::shared_ptr<const SnapshotContext> context,
                 std::shared_ptr<const sparql::Query> query);
 
+  /// Worker-side deadline path: solo solve (no dedup entry to settle).
+  void RunDeadlineQuery(std::shared_ptr<const SnapshotContext> context,
+                        std::shared_ptr<const sparql::Query> query,
+                        std::chrono::steady_clock::time_point deadline,
+                        std::promise<PruneReport> promise);
+
   QueryServiceOptions options_;
-  SimEngine engine_;
+  std::shared_ptr<SoiCache> cache_;  // null when caching is off
   util::AdmissionGate gate_;
 
+  /// Serializes writers: compute-next-version + publish is one critical
+  /// section so concurrent ApplyRestrict/IngestTriples linearize. Readers
+  /// never take it.
+  std::mutex publish_mutex_;
+
   mutable std::mutex mutex_;
+  std::shared_ptr<const SnapshotContext> current_;
+  /// Retired versions, held weakly: alive exactly while some in-flight
+  /// query still pins them.
+  std::vector<std::weak_ptr<const SnapshotContext>> retired_;
   std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight_;
   size_t submitted_ = 0;
   size_t executed_ = 0;
   size_t coalesced_ = 0;
   size_t peak_in_flight_ = 0;
+  size_t snapshots_published_ = 0;
+  size_t snapshots_live_ = 1;
+  size_t peak_snapshots_live_ = 1;
+  size_t deadline_truncated_ = 0;
 
   /// Declared last: destroyed first, which joins the workers while every
   /// member they touch is still alive.

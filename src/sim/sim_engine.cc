@@ -25,12 +25,14 @@ SimEngine::SimEngine(const graph::GraphDatabase* db, SolverOptions options,
 }
 
 Solution SimEngine::Solve(const Soi& soi,
-                          const std::vector<util::BitVector>* initial) const {
-  return SolveSoi(soi, *db_, options_, initial, pool_.get());
+                          const std::vector<util::BitVector>* initial,
+                          const SolveControl* control) const {
+  return SolveSoi(soi, *db_, options_, initial, pool_.get(), control);
 }
 
 SimEngine::BranchOutcome SimEngine::ProcessBranch(
-    const sparql::Pattern& branch, bool extract_triples) const {
+    const sparql::Pattern& branch, bool extract_triples,
+    const SolveControl* control) const {
   BranchOutcome out;
   const uint64_t generation = db_->generation();
   const bool cache_sois = cache_ != nullptr && options_.cache_sois;
@@ -66,8 +68,10 @@ SimEngine::BranchOutcome SimEngine::ProcessBranch(
     out.solution_from_cache = out.solution != nullptr;
   }
   if (out.solution == nullptr) {
-    Solution solved = Solve(*out.soi);
-    if (cache_solutions) {
+    Solution solved = Solve(*out.soi, /*initial=*/nullptr, control);
+    // A truncated solve (deadline/cancel) is a sound over-approximation,
+    // not the fixpoint — serve it to this caller but never cache it.
+    if (cache_solutions && !solved.truncated) {
       out.solution = cache_->InsertSolution(generation, key, out.soi.get(),
                                             std::move(solved));
     } else {
@@ -98,15 +102,17 @@ SimEngine::BranchOutcome SimEngine::ProcessBranch(
   return out;
 }
 
-Solution SimEngine::SolvePattern(
-    const sparql::Pattern& union_free_pattern) const {
-  return *ProcessBranch(union_free_pattern, /*extract_triples=*/false)
+Solution SimEngine::SolvePattern(const sparql::Pattern& union_free_pattern,
+                                 const SolveControl* control) const {
+  return *ProcessBranch(union_free_pattern, /*extract_triples=*/false, control)
               .solution;
 }
 
-PruneReport SimEngine::Prune(const sparql::Query& query) const {
+PruneReport SimEngine::Prune(const sparql::Query& query,
+                             const SolveControl* control) const {
   util::Stopwatch timer;
   PruneReport report;
+  report.snapshot_generation = db_->generation();
   const size_t n = db_->NumNodes();
 
   std::vector<std::unique_ptr<sparql::Pattern>> branches =
@@ -119,7 +125,7 @@ PruneReport SimEngine::Prune(const sparql::Query& query) const {
   // Each task writes only its own outcome slot.
   std::vector<BranchOutcome> outcomes(branches.size());
   auto run_branch = [&](size_t i) {
-    outcomes[i] = ProcessBranch(*branches[i], /*extract_triples=*/true);
+    outcomes[i] = ProcessBranch(*branches[i], /*extract_triples=*/true, control);
   };
   util::ParallelFor(branches.size() > 1 ? pool_.get() : nullptr,
                     branches.size(), run_branch);
@@ -141,6 +147,7 @@ PruneReport SimEngine::Prune(const sparql::Query& query) const {
     } else {
       report.stats.Accumulate(outcome.solution->stats);
     }
+    report.truncated = report.truncated || outcome.solution->truncated;
 
     // Candidate sets per original query variable: union over occurrence
     // groups; surrogates are subsumed by their anchors (Sect. 4.3), but

@@ -49,6 +49,19 @@ struct PruneReport {
   size_t solution_cache_hits = 0;
   /// End-to-end wall time: SOI construction + solving + triple extraction.
   double total_seconds = 0.0;
+
+  /// True iff any branch's fixpoint stopped early — deadline expiry,
+  /// cancellation, or a max_rounds cap. A truncated report stays *sound*
+  /// in the Thm. 2 sense (candidate sets and kept triples are supersets of
+  /// the converged ones; no match is lost) but is not the canonical
+  /// fixpoint, so it never enters the solution cache and callers that need
+  /// the exact pruned database must re-run without the deadline.
+  bool truncated = false;
+
+  /// generation() of the database this report was computed against. The
+  /// serving layer uses it to tell which snapshot answered a query when
+  /// versions race with ingest.
+  uint64_t snapshot_generation = 0;
 };
 
 /// The execution subsystem for SOI solving — owns policy end to end:
@@ -100,19 +113,27 @@ class SimEngine {
   /// Solves a prepared SOI through the engine's pool. No cache
   /// interaction — callers that constructed a Soi by hand (or restrict via
   /// `initial`, as strong simulation does) get exactly the solver.
+  /// `control`, when given, bounds the solve (deadline/cancellation,
+  /// checked at round boundaries; see SolveControl) — an expired solve
+  /// returns with Solution::truncated set.
   Solution Solve(const Soi& soi,
-                 const std::vector<util::BitVector>* initial = nullptr) const;
+                 const std::vector<util::BitVector>* initial = nullptr,
+                 const SolveControl* control = nullptr) const;
 
   /// Builds (or fetches from cache) and solves the SOI of a union-free
-  /// pattern; consults the solution cache when enabled.
-  Solution SolvePattern(const sparql::Pattern& union_free_pattern) const;
+  /// pattern; consults the solution cache when enabled. A solve truncated
+  /// by `control` is returned but never cached.
+  Solution SolvePattern(const sparql::Pattern& union_free_pattern,
+                        const SolveControl* control = nullptr) const;
 
   /// Full pipeline: query -> pruned triple set + candidates. All union-free
   /// branches of the union normal form are processed concurrently through
   /// the pool (solve + triple extraction per branch), then merged in branch
   /// order at a single-writer merge point, so the report is deterministic
-  /// for any thread count.
-  PruneReport Prune(const sparql::Query& query) const;
+  /// for any thread count. The same `control` is shared by every branch;
+  /// expiry marks the report truncated (sound over-approximation).
+  PruneReport Prune(const sparql::Query& query,
+                    const SolveControl* control = nullptr) const;
 
  private:
   struct BranchOutcome {
@@ -123,7 +144,8 @@ class SimEngine {
   };
 
   BranchOutcome ProcessBranch(const sparql::Pattern& branch,
-                              bool extract_triples) const;
+                              bool extract_triples,
+                              const SolveControl* control) const;
 
   const graph::GraphDatabase* db_;
   SolverOptions options_;

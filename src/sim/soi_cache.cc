@@ -1,5 +1,6 @@
 #include "sim/soi_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace sparqlsim::sim {
@@ -28,10 +29,14 @@ void SoiCache::EvictOverCapacityLocked() {
   }
 }
 
-size_t SoiCache::EvictStaleLocked(uint64_t live_generation) {
+size_t SoiCache::EvictStaleLocked(std::span<const uint64_t> live_generations) {
   size_t dropped = 0;
+  auto live = [&](uint64_t g) {
+    return std::find(live_generations.begin(), live_generations.end(), g) !=
+           live_generations.end();
+  };
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (it->second.generation != live_generation) {
+    if (!live(it->second.generation)) {
       ++dropped;
       if (it->second.solution != nullptr) {
         ++dropped;
@@ -52,7 +57,8 @@ void SoiCache::MaybeCollectGenerationsLocked(uint64_t generation) {
   // newer stamp means every older entry belongs to a database build that
   // this cache's owner has moved past.
   if (options_.generation_gc && newest_generation_ != 0) {
-    stats_.generation_evictions += EvictStaleLocked(generation);
+    const uint64_t live[] = {generation};
+    stats_.generation_evictions += EvictStaleLocked(live);
   }
   newest_generation_ = generation;
 }
@@ -130,11 +136,17 @@ std::shared_ptr<const Solution> SoiCache::InsertSolution(
 }
 
 size_t SoiCache::EvictStaleGenerations(uint64_t live_generation) {
+  const uint64_t live[] = {live_generation};
+  return EvictStaleGenerations(std::span<const uint64_t>(live));
+}
+
+size_t SoiCache::EvictStaleGenerations(
+    std::span<const uint64_t> live_generations) {
   std::lock_guard<std::mutex> lock(mutex_);
-  size_t dropped = EvictStaleLocked(live_generation);
+  size_t dropped = EvictStaleLocked(live_generations);
   stats_.generation_evictions += dropped;
-  if (live_generation > newest_generation_) {
-    newest_generation_ = live_generation;
+  for (uint64_t g : live_generations) {
+    if (g > newest_generation_) newest_generation_ = g;
   }
   return dropped;
 }

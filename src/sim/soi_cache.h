@@ -4,6 +4,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 
@@ -110,6 +111,17 @@ class SoiCache {
   /// attached solutions). Counted in Stats::generation_evictions.
   size_t EvictStaleGenerations(uint64_t live_generation);
 
+  /// MVCC-aware generation GC: drops every entry whose generation is not
+  /// in `live_generations` — the set of generations still reachable
+  /// through a pinned snapshot, as reported by the serving layer's
+  /// snapshot refcounts. This is the correct sweep under concurrent
+  /// serving: the newest generation alone is NOT the live set while
+  /// in-flight queries still pin older snapshots (evicting their entries
+  /// would thrash), and a generation no pin can reach again must be
+  /// dropped even if some raw integer comparison would call it "new".
+  /// Returns artifacts dropped; counted in Stats::generation_evictions.
+  size_t EvictStaleGenerations(std::span<const uint64_t> live_generations);
+
   const Options& options() const { return options_; }
   Stats stats() const;
   /// Resident entries (each entry holds one SOI).
@@ -131,7 +143,7 @@ class SoiCache {
   void MaybeCollectGenerationsLocked(uint64_t generation);
   Entry* FindEntryLocked(const std::string& full_key);
   void EvictOverCapacityLocked();
-  size_t EvictStaleLocked(uint64_t live_generation);
+  size_t EvictStaleLocked(std::span<const uint64_t> live_generations);
 
   mutable std::mutex mutex_;
   Options options_;

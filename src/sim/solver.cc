@@ -1,6 +1,8 @@
 #include "sim/solver.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <memory>
 #include <numeric>
 
@@ -103,7 +105,90 @@ util::CandidateSet::Policy PolicyFor(SolverOptions::KernelMode mode) {
   return util::CandidateSet::Policy::kAuto;
 }
 
+/// What one inequality's shard tasks need from its plan step, beyond the
+/// EvalKind tag: which matrices to read, which chi set is the selection,
+/// and which incremental tier (if any) performs the data work. Written by
+/// plan(k), read by every shard_eval(k, s) of the same round.
+struct SlotPlan {
+  const util::BitMatrix* a = nullptr;
+  const util::BitMatrix* a_t = nullptr;
+  IneqState* st = nullptr;
+  uint32_t rhs = 0;
+  /// kDelta data work: 0 = none (bookkeeping-only sync), 1 = counted
+  /// retraction, 2 = snapshot probe, 3 = accumulator rebuild.
+  uint8_t delta_tier = 0;
+  /// Selection was materialized into the slot's flat view (compressed
+  /// chi(rhs), where per-shard Test/walk would re-scan the run stream).
+  bool use_view = false;
+  /// kRow under incremental_eval: copy the finished mask into the
+  /// snapshot-tier product after the shard barrier.
+  bool refresh_product = false;
+};
+
+/// fn(position) for every set bit of v in [begin, end); `begin` must be
+/// word-aligned and `end` word-aligned or == v.size(), so shard tasks may
+/// walk (and Reset bits in) disjoint ranges of one vector concurrently.
+template <typename Fn>
+void ForEachSetBitInRange(const util::BitVector& v, size_t begin, size_t end,
+                          Fn&& fn) {
+  const uint64_t* words = v.words();
+  const size_t word_begin = begin / util::BitVector::kWordBits;
+  const size_t word_end =
+      (end + util::BitVector::kWordBits - 1) / util::BitVector::kWordBits;
+  for (size_t w = word_begin; w < word_end; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      fn(static_cast<uint32_t>(w * util::BitVector::kWordBits + bit));
+    }
+  }
+}
+
 }  // namespace
+
+size_t SolverOptions::ResolvedShards(size_t num_columns) const {
+  size_t shards = num_shards;
+  if (shards == 0) {
+    // Default comes from the environment override (CI's shard-determinism
+    // leg re-runs existing suites under SPARQLSIM_FORCE_SHARDS=3), parsed
+    // once; explicit num_shards values are never overridden, so
+    // differential configs stay exact.
+    static const size_t forced = [] {
+      const char* env = std::getenv("SPARQLSIM_FORCE_SHARDS");
+      if (env == nullptr || *env == '\0') return size_t{1};
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(env, &end, 10);
+      if (end == env || *end != '\0' || value == 0) return size_t{1};
+      return static_cast<size_t>(value);
+    }();
+    shards = forced;
+  }
+  const size_t words =
+      (num_columns + util::BitVector::kWordBits - 1) / util::BitVector::kWordBits;
+  return std::max<size_t>(1, std::min(shards, std::max<size_t>(1, words)));
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MakeShardPlan(size_t num_columns,
+                                                         size_t num_shards) {
+  const size_t words =
+      (num_columns + util::BitVector::kWordBits - 1) / util::BitVector::kWordBits;
+  const size_t shards =
+      std::max<size_t>(1, std::min(num_shards, std::max<size_t>(1, words)));
+  std::vector<std::pair<uint32_t, uint32_t>> plan;
+  plan.reserve(shards);
+  size_t word_begin = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t count = words / shards + (s < words % shards ? 1 : 0);
+    const size_t begin = word_begin * util::BitVector::kWordBits;
+    const size_t end = std::min(
+        num_columns, (word_begin + count) * util::BitVector::kWordBits);
+    plan.emplace_back(static_cast<uint32_t>(begin),
+                      static_cast<uint32_t>(end));
+    word_begin += count;
+  }
+  return plan;
+}
 
 void SolveStats::Accumulate(const SolveStats& other) {
   rounds += other.rounds;
@@ -123,6 +208,7 @@ void SolveStats::Accumulate(const SolveStats& other) {
   parallel_rounds += other.parallel_rounds;
   max_round_width = std::max(max_round_width, other.max_round_width);
   threads_used = std::max(threads_used, other.threads_used);
+  shards_used = std::max(shards_used, other.shards_used);
 }
 
 bool Solution::AnyCandidate() const {
@@ -151,7 +237,7 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
 Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const SolverOptions& options,
                   const std::vector<util::BitVector>* initial,
-                  util::ThreadPool* pool) {
+                  util::ThreadPool* pool, const SolveControl* control) {
   util::Stopwatch timer;
   const size_t n = db.NumNodes();
   const size_t num_vars = soi.NumVars();
@@ -240,6 +326,18 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   // snapshot); see IneqState. Allocated once, lazily populated.
   std::vector<IneqState> inc_state(options.incremental_eval ? num_matrix : 0);
 
+  // --- Column-shard plan (SolverOptions::num_shards). --------------------
+  // The universe is cut into contiguous word-aligned ranges; each round's
+  // data work fans out as one task per (inequality, shard), every task
+  // writing only its range's words of the shared slots. The *decision*
+  // logic — eval kinds, cost rules, incremental-tier transitions — runs
+  // once per inequality in the plan step regardless of the partition, so
+  // trajectories are bit-identical for any shard count, 1 included (a
+  // 1-shard plan is a single full-universe range through the same code).
+  const std::vector<std::pair<uint32_t, uint32_t>> shard_plan =
+      MakeShardPlan(n, options.ResolvedShards(n));
+  const size_t num_shards = shard_plan.size();
+
   // Per-inequality result slots, reused across rounds. chi and counts are
   // frozen during the evaluation phase — every mask is a pure function of
   // the round-start assignment — so the phase parallelizes with no
@@ -252,8 +350,12 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   std::vector<util::BitVector> masks;
   std::vector<EvalKind> kinds;
   std::vector<const util::BitVector*> mask_ptrs;
-  std::vector<size_t> cleared;  // columns cleared by a kDelta retraction
+  std::vector<size_t> cleared;   // columns cleared by a kDelta retraction
   std::vector<uint8_t> rebuilt;  // slot performed an accumulator build
+  std::vector<SlotPlan> plans;
+  std::vector<util::BitVector> views;  // flat copies of compressed chi(rhs)
+  std::vector<util::BitVector> gone;   // rows that left chi(rhs) (kDelta)
+  std::vector<size_t> cleared_ks;      // per (slot, shard) kDelta clears
 
   auto on_change = [&](uint32_t var) {
     counts[var] = chi[var].Count();
@@ -265,8 +367,16 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     }
   };
 
-  auto evaluate = [&](size_t k) {
+  // --- Plan step: one task per inequality. --------------------------------
+  // Replays the per-inequality decision logic exactly as the fused
+  // evaluator did (same tags, same counter splits, same incremental-state
+  // evolution), but defers all column-proportional data work to the shard
+  // tasks below. Mutates only slot k and the one IneqState this inequality
+  // owns this round, so plan tasks parallelize like evaluations always did.
+  auto plan = [&](size_t k) {
     rebuilt[k] = 0;
+    plans[k] = SlotPlan{};
+    SlotPlan& sp = plans[k];
     const uint32_t idx = work.current[k];
     if (idx >= num_matrix) {
       const Soi::SubIneq& s = soi.sub_ineqs[idx - num_matrix];
@@ -290,6 +400,9 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
         m.forward ? db.Forward(m.predicate) : db.Backward(m.predicate);
     const util::BitMatrix& a_t =
         m.forward ? db.Backward(m.predicate) : db.Forward(m.predicate);
+    sp.a = &a;
+    sp.a_t = &a_t;
+    sp.rhs = m.rhs;
 
     bool row_wise = true;
     switch (options.eval_mode) {
@@ -305,8 +418,19 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
         break;
     }
 
+    // A compressed selection would make every shard re-scan the run
+    // stream (Test probes and wide-branch walks); flatten it once here
+    // instead, under the same conditions the fused kernels flattened.
+    auto prepare_view = [&](bool needed) {
+      if (needed && chi[m.rhs].compressed()) {
+        chi[m.rhs].MaterializeInto(&views[k]);
+        sp.use_view = true;
+      }
+    };
+
     if (options.incremental_eval) {
       IneqState& st = inc_state[idx];
+      sp.st = &st;
 
       // Cost rule, same flavor as the row/column dynamic rule: retract
       // iff the rows removed since the sync point are fewer than what the
@@ -329,50 +453,35 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
             !st.acc_valid && !escalate_ok && removed * kProbePenalty < full_cost;
         if (counted_ok || escalate_ok || probe_ok) {
           kinds[k] = EvalKind::kDelta;
-          cleared[k] = 0;
+          for (size_t s = 0; s < num_shards; ++s) {
+            cleared_ks[k * num_shards + s] = 0;
+          }
           if (st.deltas_done < kAccDeltaThreshold) ++st.deltas_done;
           if (escalate_ok) {
             // Build the cover counts on the current (collapsed)
             // selection; the build subsumes this retraction and makes
-            // every later one O(1) per column.
+            // every later one O(1) per column. The serial half
+            // (PrepareRebuild) runs here; the fill is sharded. Multi-shard
+            // rebuilds pin the wide count lanes — see PrepareRebuild.
             rebuilt[k] = 1;
-            if (chi[m.rhs].compressed()) {
-              // Rebuild's wide branch probes Test per non-empty row; give
-              // it a flat O(1)-Test view of a compressed selection.
-              util::BitVector sel;
-              chi[m.rhs].MaterializeInto(&sel);
-              st.acc.Rebuild(a, sel);
-            } else {
-              st.acc.Rebuild(a, chi[m.rhs]);
-            }
+            sp.delta_tier = 3;
+            st.acc.PrepareRebuild(a.cols(), /*force_wide=*/num_shards > 1);
+            prepare_view(true);
             st.acc_valid = true;
             st.product_valid = false;
           } else if (removed != 0) {
-            util::BitVector gone = st.last_rhs;
-            chi[m.rhs].ClearBitsIn(&gone);
+            gone[k] = st.last_rhs;
+            chi[m.rhs].ClearBitsIn(&gone[k]);
             if (st.acc_valid) {
-              cleared[k] = st.acc.Retract(a, gone);
+              sp.delta_tier = 1;
             } else {
               // Snapshot tier: only columns of removed rows can leave the
-              // product; re-check each with one early-exit cover probe
-              // (column c of A is row c of A^T). Probes hit Test() per
-              // neighbour, which is a stream scan on a compressed set, so
-              // pay one O(n/64) materialization up front instead.
-              util::BitVector rhs_view;
-              const bool probe_view = chi[m.rhs].compressed();
-              if (probe_view) chi[m.rhs].MaterializeInto(&rhs_view);
-              size_t probe_cleared = 0;
-              gone.ForEachSetBit([&](uint32_t r) {
-                for (uint32_t c : a.Row(r)) {
-                  if (st.product.Test(c) &&
-                      !(probe_view ? a_t.RowIntersectsAny(c, rhs_view)
-                                   : a_t.RowIntersectsAny(c, chi[m.rhs]))) {
-                    st.product.Reset(c);
-                    ++probe_cleared;
-                  }
-                }
-              });
-              cleared[k] = probe_cleared;
+              // product; each is re-checked with one early-exit cover
+              // probe in the shard tasks. Probes hit Test() per
+              // neighbour, a stream scan on a compressed set, so pay one
+              // O(n/64) materialization up front instead.
+              sp.delta_tier = 2;
+              prepare_view(true);
             }
           }
           if (removed != 0 || rebuilt[k]) {
@@ -387,14 +496,15 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
       }
 
       if (row_wise) {
-        // Full product; refresh the snapshot tier from it so the next
-        // visit can retract. The two copies are a negligible premium over
+        // Full product; the snapshot tier is refreshed from the finished
+        // mask after the shard barrier (refresh_product) so the next
+        // visit can retract. The copies are a negligible premium over
         // the Multiply itself, and a stale counted tier is dropped (its
         // counts no longer match any snapshot we keep).
         kinds[k] = EvalKind::kRow;
         masks[k].Resize(n);
-        a.Multiply(chi[m.rhs], &masks[k]);
-        st.product = masks[k];
+        prepare_view(counts[m.rhs] * 8 >= a.NonEmptyRows().size());
+        sp.refresh_product = true;
         chi[m.rhs].MaterializeInto(&st.last_rhs);
         st.last_count = counts[m.rhs];
         st.product_valid = true;
@@ -407,34 +517,98 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     if (row_wise) {
       kinds[k] = EvalKind::kRow;
       masks[k].Resize(n);
-      a.Multiply(chi[m.rhs], &masks[k]);
+      // Same flatten rule as BitMatrix::Multiply's CandidateSet overload:
+      // only the wide branch probes Test per non-empty row.
+      prepare_view(counts[m.rhs] * 8 >= a.NonEmptyRows().size());
       mask_ptrs[k] = &masks[k];
     } else {
       kinds[k] = EvalKind::kCol;
       // Keep candidate j of lhs iff column j of A intersects chi(rhs);
-      // column j of A is row j of A^T. The per-candidate probes call
-      // Test() once per neighbour — a stream scan on a compressed rhs —
-      // so flatten a compressed chi(rhs) once before the loop.
+      // column j of A is row j of A^T.
       chi[m.lhs].MaterializeInto(&masks[k]);
-      if (chi[m.rhs].compressed()) {
-        util::BitVector rhs_view;
-        chi[m.rhs].MaterializeInto(&rhs_view);
-        masks[k].ForEachSetBit([&](uint32_t j) {
-          if (!a_t.RowIntersectsAny(j, rhs_view)) masks[k].Reset(j);
-        });
-      } else {
-        masks[k].ForEachSetBit([&](uint32_t j) {
-          if (!a_t.RowIntersectsAny(j, chi[m.rhs])) masks[k].Reset(j);
-        });
-      }
+      prepare_view(true);
       mask_ptrs[k] = &masks[k];
+    }
+  };
+
+  // --- Data step: one task per (inequality, shard). -----------------------
+  // Pure column-range-restricted data work, driven entirely by the plan:
+  // each task reads round-start state plus its slot's plan and writes only
+  // its own words of the slot's mask / the owning accumulator / the
+  // snapshot product, plus its own cleared_ks counter — disjoint memory
+  // across shards, no synchronization beyond the phase barrier.
+  auto shard_eval = [&](size_t k, size_t s) {
+    const auto [range_begin, range_end] = shard_plan[s];
+    const SlotPlan& sp = plans[k];
+    switch (kinds[k]) {
+      case EvalKind::kRow:
+        if (sp.use_view) {
+          sp.a->MultiplyRange(views[k], range_begin, range_end, &masks[k]);
+        } else {
+          sp.a->MultiplyRange(chi[sp.rhs], range_begin, range_end, &masks[k]);
+        }
+        break;
+      case EvalKind::kCol:
+        ForEachSetBitInRange(masks[k], range_begin, range_end, [&](uint32_t j) {
+          const bool covered =
+              sp.use_view ? sp.a_t->RowIntersectsAny(j, views[k])
+                          : sp.a_t->RowIntersectsAny(j, chi[sp.rhs]);
+          if (!covered) masks[k].Reset(j);
+        });
+        break;
+      case EvalKind::kDelta: {
+        IneqState& st = *sp.st;
+        if (sp.delta_tier == 3) {
+          if (sp.use_view) {
+            st.acc.RebuildRange(*sp.a, views[k], range_begin, range_end);
+          } else {
+            st.acc.RebuildRange(*sp.a, chi[sp.rhs], range_begin, range_end);
+          }
+        } else if (sp.delta_tier == 1) {
+          cleared_ks[k * num_shards + s] =
+              st.acc.RetractRange(*sp.a, gone[k], range_begin, range_end);
+        } else if (sp.delta_tier == 2) {
+          size_t probe_cleared = 0;
+          gone[k].ForEachSetBit([&](uint32_t r) {
+            const auto row = sp.a->Row(r);
+            auto it = std::lower_bound(row.begin(), row.end(),
+                                       static_cast<uint32_t>(range_begin));
+            for (; it != row.end() && *it < range_end; ++it) {
+              const uint32_t c = *it;
+              if (st.product.Test(c) &&
+                  !(sp.use_view ? sp.a_t->RowIntersectsAny(c, views[k])
+                                : sp.a_t->RowIntersectsAny(c, chi[sp.rhs]))) {
+                st.product.Reset(c);
+                ++probe_cleared;
+              }
+            }
+          });
+          cleared_ks[k * num_shards + s] = probe_cleared;
+        }
+        break;
+      }
+      case EvalKind::kSkip:
+      case EvalKind::kClear:
+      case EvalKind::kSub:
+        break;  // no data phase
     }
   };
 
   SolveStats& stats = solution.stats;
   stats.threads_used = pool != nullptr ? pool->NumThreads() : 1;
+  stats.shards_used = num_shards;
   while (!work.current.empty()) {
-    if (options.max_rounds != 0 && stats.rounds >= options.max_rounds) break;
+    if (options.max_rounds != 0 && stats.rounds >= options.max_rounds) {
+      solution.truncated = true;
+      break;
+    }
+    // Cooperative cancellation/deadline check, once per round: a truncated
+    // fixpoint stops between rounds, so the exported candidates are a
+    // sound over-approximation of the true solution (supersets).
+    if (control != nullptr && control->Expired()) {
+      solution.truncated = true;
+      break;
+    }
     ++stats.rounds;
     const size_t width = work.current.size();
     stats.max_round_width = std::max(stats.max_round_width, width);
@@ -444,19 +618,51 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
       mask_ptrs.resize(width);
       cleared.resize(width);
       rebuilt.resize(width);
+      plans.resize(width);
+      views.resize(width);
+      gone.resize(width);
+    }
+    if (cleared_ks.size() < width * num_shards) {
+      cleared_ks.resize(width * num_shards);
     }
 
     // Evaluation phase: chi/counts are read-only until the barrier.
-    if (pool != nullptr && width > 1) {
-      ++stats.parallel_rounds;
-      util::ParallelFor(pool, width, evaluate);
+    if (pool == nullptr || width * num_shards <= 1) {
+      for (size_t k = 0; k < width; ++k) {
+        plan(k);
+        for (size_t s = 0; s < num_shards; ++s) shard_eval(k, s);
+      }
+    } else if (num_shards == 1) {
+      // Unsharded pooled rounds keep the historical one-barrier shape:
+      // plan and data work fused per inequality.
+      if (width > 1) ++stats.parallel_rounds;
+      util::ParallelFor(pool, width, [&](size_t k) {
+        plan(k);
+        shard_eval(k, 0);
+      });
     } else {
-      for (size_t k = 0; k < width; ++k) evaluate(k);
+      // Sharded rounds: plan per inequality, then fan the data work out
+      // as width x shards range tasks. Each phase writes per-task-disjoint
+      // memory; the second phase additionally splits along columns.
+      if (width > 1) ++stats.parallel_rounds;
+      util::ParallelFor(pool, width, plan);
+      util::ParallelFor(pool, width * num_shards, [&](size_t t) {
+        shard_eval(t / num_shards, t % num_shards);
+      });
     }
 
     // Merge phase, single-threaded, in worklist order.
     for (size_t k = 0; k < width; ++k) {
       ++stats.evaluations;
+      if (kinds[k] == EvalKind::kRow && plans[k].refresh_product) {
+        plans[k].st->product = masks[k];
+      }
+      if (kinds[k] == EvalKind::kDelta) {
+        cleared[k] = 0;
+        for (size_t s = 0; s < num_shards; ++s) {
+          cleared[k] += cleared_ks[k * num_shards + s];
+        }
+      }
       const uint32_t idx = work.current[k];
       const uint32_t lhs = idx >= num_matrix
                                ? soi.sub_ineqs[idx - num_matrix].lhs

@@ -1,7 +1,11 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_database.h"
@@ -61,6 +65,26 @@ struct SolverOptions {
   /// Safety valve for experiments; 0 means no limit.
   size_t max_rounds = 0;
 
+  /// Column-range sharding of the evaluation phase: the node universe is
+  /// partitioned into this many contiguous word-aligned column ranges
+  /// (MakeShardPlan) and every inequality's mask is computed as one task
+  /// per (inequality, shard) — each shard solves the system restricted to
+  /// its candidate columns, writing only its own words of the shared mask
+  /// slots. The per-shard results meet at the existing single-writer merge
+  /// point, and because the decision logic (eval kinds, cost rules,
+  /// incremental-tier transitions) runs once per inequality regardless of
+  /// the partition, solutions, fixpoint trajectories, and every semantic
+  /// counter are bit-identical for any shard count — sharding is purely a
+  /// wall-clock knob, like num_threads, but slicing *within* an inequality
+  /// instead of across them (narrow rounds with huge candidate sets is
+  /// exactly where num_threads runs out of work).
+  ///
+  /// 0 means "default": the SPARQLSIM_FORCE_SHARDS environment variable if
+  /// set (CI's shard-determinism leg), else 1. Explicit values are never
+  /// overridden by the environment. ResolvedShards clamps so no shard is
+  /// empty.
+  size_t num_shards = 0;
+
   /// Worker threads for the solving path: per-round parallel inequality
   /// evaluation and (through SimEngine) concurrent union-free branches.
   /// 0 means all hardware threads; 1 (the default) keeps everything on the
@@ -90,6 +114,42 @@ struct SolverOptions {
   /// `num_threads` with the 0-means-hardware convention applied.
   size_t ResolvedThreads() const {
     return util::ThreadPool::ResolveThreadCount(num_threads);
+  }
+
+  /// `num_shards` with the 0-means-default convention applied and clamped
+  /// so every shard covers at least one 64-bit word of an `num_columns`
+  /// universe (always >= 1).
+  size_t ResolvedShards(size_t num_columns) const;
+};
+
+/// Contiguous word-aligned [begin, end) column ranges covering
+/// [0, num_columns): every boundary except the last is a multiple of 64,
+/// so ranges touch disjoint words of any output bit-vector and shard
+/// tasks may fill one vector concurrently. At most
+/// ceil(num_columns / 64) non-empty ranges are returned (requesting more
+/// shards yields fewer); num_columns == 0 yields one empty range.
+std::vector<std::pair<uint32_t, uint32_t>> MakeShardPlan(size_t num_columns,
+                                                         size_t num_shards);
+
+/// Per-solve cooperative control, checked at fixpoint round boundaries
+/// (and between union-free branches in SimEngine). Expiry or cancellation
+/// stops the solve early with `Solution::truncated` set; the partial
+/// assignment is still a sound over-approximation of the fixpoint (the
+/// solve only ever removes candidates that can never match), it is just
+/// not the canonical largest solution, so truncated results are never
+/// cached.
+struct SolveControl {
+  /// Absolute deadline; unset = no deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// External cancellation flag (borrowed); null = not cancellable.
+  const std::atomic<bool>* cancel = nullptr;
+
+  bool Expired() const {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline.has_value() &&
+           std::chrono::steady_clock::now() >= *deadline;
   }
 };
 
@@ -138,9 +198,13 @@ struct SolveStats {
   /// thread pool, the widest round (unstable inequalities evaluated
   /// together — the available per-round parallelism), and the executor count
   /// the solve ran with (pool workers, or 1 for inline solves).
+  /// `shards_used` is the resolved column-shard count
+  /// (SolverOptions::num_shards); scheduling-dependent like threads_used,
+  /// never part of a trajectory comparison.
   size_t parallel_rounds = 0;
   size_t max_round_width = 0;
   size_t threads_used = 1;
+  size_t shards_used = 1;
 
   /// Adds `other`'s counters and time into this (multi-branch aggregation);
   /// width/thread counters combine by max.
@@ -158,6 +222,12 @@ struct SolveStats {
 struct Solution {
   std::vector<util::BitVector> candidates;
   SolveStats stats;
+
+  /// The solve stopped before reaching the fixpoint — max_rounds hit, or
+  /// SolveControl expiry/cancellation. The candidates are then a sound
+  /// over-approximation of the largest solution (a superset per variable),
+  /// not the canonical fixpoint; truncated solutions are never cached.
+  bool truncated = false;
 
   /// True iff the induced relation is non-empty.
   bool AnyCandidate() const;
@@ -194,10 +264,12 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
 
 /// Pool-reusing overload: evaluates rounds through `pool` when it is
 /// non-null, inline otherwise. `options.num_threads` is ignored in favor of
-/// the pool actually passed.
+/// the pool actually passed. `control` (borrowed, may be null) is checked
+/// at round boundaries; see SolveControl.
 Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const SolverOptions& options,
                   const std::vector<util::BitVector>* initial,
-                  util::ThreadPool* pool);
+                  util::ThreadPool* pool,
+                  const SolveControl* control = nullptr);
 
 }  // namespace sparqlsim::sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -12,11 +13,36 @@ namespace sparqlsim::util {
 /// instead of growing an unbounded queue, and consumers Release() as work
 /// completes. WaitIdle() is the matching drain barrier.
 ///
+/// Two priority classes keep bulk traffic from starving interactive work:
+/// a kHigh producer waits only for a free slot, while a kLow producer
+/// additionally yields to every high-priority producer currently waiting —
+/// freed slots therefore go to the high class first, and a steady stream
+/// of low-priority bulk submissions can never push an interactive query's
+/// wait beyond one slot turnaround. Within a class, the wakeup order is
+/// whatever the condition variable gives (no FIFO guarantee).
+///
 /// Deliberately not a semaphore initialized to `limit`: the gate also knows
 /// when it is *idle* (nothing admitted), which a counting semaphore cannot
 /// express without a second primitive.
 class AdmissionGate {
  public:
+  enum class Priority { kHigh, kLow };
+
+  /// Per-class admission counters. `blocked` counts Acquire() calls that
+  /// had to park, incremented as parking begins — a currently-waiting
+  /// producer is visible in the stats. Wait time is only accumulated by
+  /// those calls, so `wait_seconds / blocked` is the mean queueing delay
+  /// of the class under contention.
+  struct ClassStats {
+    size_t admitted = 0;
+    size_t blocked = 0;
+    double wait_seconds = 0.0;
+  };
+  struct Stats {
+    ClassStats high;
+    ClassStats low;
+  };
+
   /// `limit` = max units in flight; 0 is clamped to 1 (a gate that admits
   /// nothing would deadlock its first producer).
   explicit AdmissionGate(size_t limit) : limit_(limit == 0 ? 1 : limit) {}
@@ -24,18 +50,33 @@ class AdmissionGate {
   AdmissionGate(const AdmissionGate&) = delete;
   AdmissionGate& operator=(const AdmissionGate&) = delete;
 
-  /// Blocks until a slot is free, then takes it.
-  void Acquire() {
+  /// Blocks until the class may take a slot, then takes it.
+  void Acquire(Priority priority = Priority::kHigh) {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return in_use_ < limit_; });
+    if (Admissible(priority)) {
+      ++in_use_;
+      ++StatsFor(priority).admitted;
+      return;
+    }
+    const auto blocked_at = std::chrono::steady_clock::now();
+    ClassStats& cls = StatsFor(priority);
+    ++cls.blocked;
+    if (priority == Priority::kHigh) ++high_waiting_;
+    cv_.wait(lock, [&] { return Admissible(priority); });
+    if (priority == Priority::kHigh) --high_waiting_;
     ++in_use_;
+    ++cls.admitted;
+    cls.wait_seconds += std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - blocked_at)
+                            .count();
   }
 
-  /// Takes a slot iff one is free right now.
-  bool TryAcquire() {
+  /// Takes a slot iff the class may have one right now.
+  bool TryAcquire(Priority priority = Priority::kHigh) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (in_use_ >= limit_) return false;
+    if (!Admissible(priority)) return false;
     ++in_use_;
+    ++StatsFor(priority).admitted;
     return true;
   }
 
@@ -63,11 +104,29 @@ class AdmissionGate {
 
   size_t limit() const { return limit_; }
 
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
  private:
+  /// Admission predicate (mutex_ held): high needs a slot; low needs a
+  /// slot *and* no high producer waiting for one.
+  bool Admissible(Priority priority) const {
+    if (in_use_ >= limit_) return false;
+    return priority == Priority::kHigh || high_waiting_ == 0;
+  }
+
+  ClassStats& StatsFor(Priority priority) {
+    return priority == Priority::kHigh ? stats_.high : stats_.low;
+  }
+
   const size_t limit_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   size_t in_use_ = 0;
+  size_t high_waiting_ = 0;
+  Stats stats_;
 };
 
 }  // namespace sparqlsim::util

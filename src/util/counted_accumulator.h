@@ -85,6 +85,52 @@ class CountedAccumulator {
   /// columns cleared.
   size_t Retract(const BitMatrix& a, const BitVector& removed);
 
+  /// Column-range-restricted rebuild for the solver's shard lanes, split
+  /// into a serial and a concurrent part. PrepareRebuild performs what
+  /// Rebuild does before touching the selection: (re)size the lanes or
+  /// clear the previous product's counts, and wipe the result vector.
+  /// After it, RebuildRange calls over disjoint word-aligned column ranges
+  /// may run concurrently — each touches only its range's count lanes and
+  /// result words, and their union reproduces Rebuild bit for bit.
+  ///
+  /// `force_wide` pins the 32-bit lanes up front: a narrow-lane overflow
+  /// inside RebuildRange would have to widen the *whole* array mid-fill,
+  /// which is exactly the cross-range write the concurrent phase must not
+  /// perform, so multi-shard rebuilds pre-pay the wide layout. Counts (and
+  /// therefore result and every retraction after it) are identical either
+  /// way — lane width is never observable in a solve trajectory.
+  void PrepareRebuild(size_t cols, bool force_wide);
+
+  /// The concurrent half of the sharded rebuild; see PrepareRebuild.
+  /// Same adaptive row-walk rule as Rebuild, keyed on the whole selection
+  /// size so every range walks rows identically.
+  template <typename SelT>
+  void RebuildRange(const BitMatrix& a, const SelT& selected,
+                    size_t col_begin, size_t col_end) {
+    auto add_range = [&](std::span<const uint32_t> row) {
+      auto it = std::lower_bound(row.begin(), row.end(),
+                                 static_cast<uint32_t>(col_begin));
+      for (; it != row.end() && *it < col_end; ++it) Increment(*it);
+    };
+    const auto rows = a.NonEmptyRows();
+    if (selected.Count() * 8 < rows.size()) {
+      selected.ForEachSetBit([&](uint32_t r) { add_range(a.Row(r)); });
+    } else {
+      for (size_t slot = 0; slot < rows.size(); ++slot) {
+        if (selected.Test(rows[slot])) add_range(a.RowBySlot(slot));
+      }
+    }
+  }
+
+  /// Column-range-restricted Retract: decrements only the removed rows'
+  /// entries in [col_begin, col_end) and clears in-range columns whose
+  /// count hits zero. Safe to run concurrently over disjoint word-aligned
+  /// ranges (counts and result words are disjoint per range; Decrement
+  /// never changes lane width). The sum of the per-range returns over a
+  /// partition equals Retract's return.
+  size_t RetractRange(const BitMatrix& a, const BitVector& removed,
+                      size_t col_begin, size_t col_end);
+
   /// The product x *b A for the current selection x.
   const BitVector& result() const { return result_; }
 

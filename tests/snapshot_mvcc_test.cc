@@ -1,0 +1,383 @@
+// MVCC serving contract: immutable copy-on-write snapshots, readers
+// pinned to their admission version while publishers race past them,
+// cache GC against the live-generation set, and retired-version slab
+// reclamation (the stale-snapshot leak regression). The racing suites run
+// under TSan in CI; the reclamation suite is ASan-visible.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "datagen/random_graphs.h"
+#include "graph/graph_database.h"
+#include "sim/query_service.h"
+#include "sim/sim_engine.h"
+#include "sim/soi.h"
+#include "sim/soi_cache.h"
+#include "sparql/parser.h"
+#include "util/rng.h"
+
+namespace sparqlsim::sim {
+namespace {
+
+sparql::Query ParseQuery(const std::string& text) {
+  auto parsed = sparql::Parser::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.error_message() << " in " << text;
+  return std::move(parsed).value();
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write versioning on GraphDatabase itself
+// ---------------------------------------------------------------------------
+
+TEST(CowSnapshotTest, UntouchedPredicateSlabsAreSharedByAddress) {
+  graph::GraphDatabaseBuilder builder;
+  for (int i = 0; i < 70; ++i) builder.InternNode("n" + std::to_string(i));
+  builder.InternPredicate("p0");
+  builder.InternPredicate("p1");
+  for (int i = 0; i + 1 < 70; ++i) {
+    ASSERT_TRUE(
+        builder
+            .AddTriple("n" + std::to_string(i), i % 2 ? "p1" : "p0",
+                       "n" + std::to_string(i + 1))
+            .ok());
+  }
+  graph::GraphDatabase base = std::move(builder).Build();
+
+  const uint32_t p0 = *base.predicates().Lookup("p0");
+  const uint32_t p1 = *base.predicates().Lookup("p1");
+  const uint32_t n0 = *base.nodes().Lookup("n0");
+  const uint32_t n5 = *base.nodes().Lookup("n5");
+
+  // Snapshot: pure pointer copies, same generation, same slab objects.
+  std::shared_ptr<const graph::GraphDatabase> snap = base.Snapshot();
+  EXPECT_EQ(snap->generation(), base.generation());
+  EXPECT_EQ(&snap->Forward(p0), &base.Forward(p0));
+  EXPECT_EQ(&snap->Forward(p1), &base.Forward(p1));
+
+  // Adding a p1 edge rebuilds only the p1 slab; p0 is shared by address.
+  const graph::Triple added{n0, p1, n5};
+  graph::GraphDatabase next = base.WithTriplesAdded({&added, 1});
+  EXPECT_NE(next.generation(), base.generation());
+  EXPECT_EQ(&next.Forward(p0), &base.Forward(p0));
+  EXPECT_NE(&next.Forward(p1), &base.Forward(p1));
+  EXPECT_EQ(next.NumTriples(), base.NumTriples() + 1);
+  // The source version is untouched (snapshot isolation).
+  EXPECT_FALSE(base.Forward(p1).Test(n0, n5));
+  EXPECT_TRUE(next.Forward(p1).Test(n0, n5));
+}
+
+TEST(CowSnapshotTest, NoOpPublishesKeepTheGeneration) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 80;
+  config.num_edges = 300;
+  config.seed = 5;
+  graph::GraphDatabase base = datagen::MakeRandomDatabase(config);
+
+  // Keeping everything is content-identity: same generation, all slabs
+  // shared, so caches keyed on the generation stay warm.
+  std::vector<graph::Triple> all = base.AllTriples();
+  graph::GraphDatabase same = base.Restrict(all);
+  EXPECT_EQ(same.generation(), base.generation());
+  for (uint32_t p = 0; p < base.NumPredicates(); ++p) {
+    EXPECT_EQ(&same.Forward(p), &base.Forward(p)) << "p" << p;
+  }
+
+  // Re-adding an existing triple is also a no-op.
+  graph::GraphDatabase dup = base.WithTriplesAdded({all.data(), 1});
+  EXPECT_EQ(dup.generation(), base.generation());
+}
+
+// ---------------------------------------------------------------------------
+// Cache GC against the live-generation set
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotCacheGcTest, LiveSetEvictionIsExact) {
+  SoiCache cache;
+  graph::Graph pattern = datagen::MakeRandomPattern(4, 2, 3, 11);
+  Soi soi = BuildSoiFromGraph(pattern);
+  cache.InsertSoi(/*generation=*/10, "q", Soi(soi));
+  cache.InsertSoi(/*generation=*/20, "q", Soi(soi));
+  cache.InsertSoi(/*generation=*/30, "q", Soi(soi));
+  ASSERT_EQ(cache.NumSois(), 3u);
+
+  // Generations 10 and 30 are still pinned; only 20 is unreachable. The
+  // raw newest-integer sweep would wrongly drop 10 here.
+  const uint64_t live[] = {10, 30};
+  EXPECT_EQ(cache.EvictStaleGenerations(live), 1u);
+  EXPECT_EQ(cache.NumSois(), 2u);
+  EXPECT_NE(cache.FindSoi(10, "q"), nullptr);
+  EXPECT_EQ(cache.FindSoi(20, "q"), nullptr);
+  EXPECT_NE(cache.FindSoi(30, "q"), nullptr);
+  EXPECT_EQ(cache.stats().generation_evictions, 1u);
+
+  // Once 10 drains too, the next sweep reclaims it.
+  const uint64_t live2[] = {30};
+  EXPECT_EQ(cache.EvictStaleGenerations({live2, 1}), 1u);
+  EXPECT_EQ(cache.NumSois(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// QueryService: pinned readers, retired-version reclamation, deadlines
+// ---------------------------------------------------------------------------
+
+std::vector<graph::Triple> RandomNewTriples(
+    const graph::GraphDatabase& db, util::Rng& rng, size_t count) {
+  std::vector<graph::Triple> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back({static_cast<uint32_t>(rng.NextBounded(db.NumNodes())),
+                   static_cast<uint32_t>(rng.NextBounded(db.NumPredicates())),
+                   static_cast<uint32_t>(rng.NextBounded(db.NumNodes()))});
+  }
+  return out;
+}
+
+TEST(SnapshotMvccTest, InFlightQueryPinsItsVersionUntilCompletion) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 100;
+  config.num_edges = 400;
+  config.seed = 3;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  std::mutex hook_mutex;
+  std::condition_variable hook_cv;
+  bool release = false;
+  std::atomic<size_t> hook_calls{0};
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.solve_hook = [&] {
+    if (hook_calls.fetch_add(1) != 0) return;  // only the first query parks
+    std::unique_lock<std::mutex> lock(hook_mutex);
+    hook_cv.wait(lock, [&] { return release; });
+  };
+  QueryService service(&db, options);
+
+  const uint64_t first_generation = service.CurrentGeneration();
+  std::weak_ptr<const graph::GraphDatabase> first_version;
+  first_version = service.CurrentSnapshot();
+  ASSERT_FALSE(first_version.expired());
+
+  // Park a query on the first version, then publish past it.
+  auto future = service.Submit(
+      ParseQuery("SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . }"));
+  while (hook_calls.load() == 0) std::this_thread::yield();
+
+  util::Rng rng(17);
+  std::vector<graph::Triple> added = RandomNewTriples(db, rng, 25);
+  const uint64_t second_generation = service.IngestTriples(added);
+  EXPECT_NE(second_generation, first_generation);
+  EXPECT_EQ(service.CurrentGeneration(), second_generation);
+
+  // The reader still pins the retired version: two snapshots live, and
+  // the first version's slabs must not have been reclaimed.
+  EXPECT_EQ(service.stats().snapshots_live, 2u);
+  EXPECT_FALSE(first_version.expired());
+
+  {
+    std::lock_guard<std::mutex> lock(hook_mutex);
+    release = true;
+  }
+  hook_cv.notify_all();
+  PruneReport report = future.get();
+  EXPECT_EQ(report.snapshot_generation, first_generation);
+  service.Drain();
+
+  // Leak regression: completion retires the pin, the sweep drops the dead
+  // version, and its snapshot (slabs included) is actually freed — the
+  // weak_ptr is the witness.
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.snapshots_live, 1u);
+  EXPECT_EQ(stats.peak_snapshots_live, 2u);
+  EXPECT_EQ(stats.snapshots_published, 1u);
+  EXPECT_TRUE(first_version.expired());
+}
+
+TEST(SnapshotMvccTest, CacheRetainsOnlyLiveGenerationsAcrossPublishes) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 90;
+  config.num_edges = 350;
+  config.seed = 7;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.solver.cache_sois = true;
+  options.solver.cache_solutions = true;
+  QueryService service(&db, options);
+
+  const sparql::Query query =
+      ParseQuery("SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . }");
+  service.Submit(query.Clone()).get();
+  service.Drain();
+  EXPECT_EQ(service.stats().cached_sois, 1u);
+
+  // Publish a content-changing version, solve the same pattern on it:
+  // the old generation has no pin left, so its entry must be gone and
+  // exactly the new generation's entry resident.
+  util::Rng rng(23);
+  std::vector<graph::Triple> added = RandomNewTriples(db, rng, 30);
+  service.IngestTriples(added);
+  service.Submit(query.Clone()).get();
+  service.Drain();
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.cached_sois, 1u);
+  EXPECT_EQ(stats.snapshots_live, 1u);
+
+  // A no-op publish keeps generation and therefore the warm entry.
+  std::vector<graph::Triple> all = service.CurrentSnapshot()->AllTriples();
+  const uint64_t generation = service.CurrentGeneration();
+  EXPECT_EQ(service.ApplyRestrict(all), generation);
+  EXPECT_EQ(service.stats().snapshots_published, 1u);
+  service.Submit(query.Clone()).get();
+  service.Drain();
+  EXPECT_EQ(service.stats().cached_sois, 1u);
+  EXPECT_GT(service.stats().cache.soi_hits, 0u);
+}
+
+TEST(SnapshotMvccTest, DeadlineExpiryTruncatesWithoutPoisoningTheCache) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 120;
+  config.num_edges = 500;
+  config.seed = 19;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.solver.cache_sois = true;
+  options.solver.cache_solutions = true;
+  QueryService service(&db, options);
+  const sparql::Query query = ParseQuery(
+      "SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . ?c <p2> ?a . }");
+
+  SubmitOptions expired;
+  expired.deadline = std::chrono::milliseconds(0);
+  PruneReport cut = service.Submit(query.Clone(), expired).get();
+  EXPECT_TRUE(cut.truncated);
+  EXPECT_GE(service.stats().deadline_truncated, 1u);
+
+  // The truncated run must not have seeded the solution cache: an
+  // unbudgeted rerun reaches the true fixpoint.
+  PruneReport full = service.Submit(query.Clone()).get();
+  EXPECT_FALSE(full.truncated);
+  SimEngine reference(&db, options.solver);
+  PruneReport want = reference.Prune(query);
+  EXPECT_EQ(full.kept_triples, want.kept_triples);
+  // Soundness of the truncated report: superset of the fixpoint.
+  for (const graph::Triple& t : want.kept_triples) {
+    EXPECT_TRUE(std::find(cut.kept_triples.begin(), cut.kept_triples.end(),
+                          t) != cut.kept_triples.end());
+  }
+}
+
+// The TSan-load-bearing test: readers race one publisher; every report
+// must be bit-identical to a sequential solve against the snapshot the
+// query pinned, and publication must never block reader progress.
+TEST(SnapshotMvccTest, RacingReadersMatchSequentialSolvesOnPinnedVersions) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 100;
+  config.num_edges = 400;
+  config.seed = 29;
+  graph::GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  options.queue_depth = 8;
+  options.solver.cache_sois = true;
+  options.solver.cache_solutions = true;
+  QueryService service(&db, options);
+
+  const std::vector<std::string> texts = {
+      "SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?c . }",
+      "SELECT * WHERE { ?a <p1> ?b . OPTIONAL { ?b <p2> ?c . } }",
+      "SELECT * WHERE { { ?a <p0> ?b . } UNION { ?a <p2> ?b . } }",
+      "SELECT * WHERE { ?a <p2> ?b . ?c <p0> ?b . }",
+  };
+
+  // Version ledger: generation -> pinned snapshot. The single publisher
+  // records each version it publishes; holding the shared_ptrs keeps every
+  // generation alive for the post-hoc differential check.
+  std::mutex ledger_mutex;
+  std::unordered_map<uint64_t, std::shared_ptr<const graph::GraphDatabase>>
+      ledger;
+  ledger.emplace(service.CurrentGeneration(), service.CurrentSnapshot());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    util::Rng rng(41);
+    for (int round = 0; round < 12; ++round) {
+      if (round % 3 == 2) {
+        // Drop every 11th triple of the newest version.
+        std::vector<graph::Triple> all =
+            service.CurrentSnapshot()->AllTriples();
+        std::vector<graph::Triple> kept;
+        for (size_t i = 0; i < all.size(); ++i) {
+          if (i % 11 != 0) kept.push_back(all[i]);
+        }
+        service.ApplyRestrict(kept);
+      } else {
+        std::vector<graph::Triple> added = RandomNewTriples(db, rng, 12);
+        service.IngestTriples(added);
+      }
+      std::lock_guard<std::mutex> lock(ledger_mutex);
+      ledger.emplace(service.CurrentGeneration(), service.CurrentSnapshot());
+    }
+    stop.store(true);
+  });
+
+  std::mutex results_mutex;
+  std::vector<std::pair<size_t, PruneReport>> results;  // (text idx, report)
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = static_cast<size_t>(r);
+      do {
+        const size_t which = i % texts.size();
+        PruneReport report = service.Submit(ParseQuery(texts[which])).get();
+        std::lock_guard<std::mutex> lock(results_mutex);
+        results.emplace_back(which, std::move(report));
+        ++i;
+      } while (!stop.load());
+    });
+  }
+  publisher.join();
+  for (std::thread& t : readers) t.join();
+  service.Drain();
+
+  ASSERT_GE(results.size(), 3u);
+  for (const auto& [which, report] : results) {
+    // With a single publisher, CurrentSnapshot() right after each publish
+    // is exactly the published version, so every generation a reader could
+    // have pinned is in the ledger.
+    auto it = ledger.find(report.snapshot_generation);
+    ASSERT_NE(it, ledger.end()) << report.snapshot_generation;
+    SimEngine engine(it->second.get(), options.solver);
+    PruneReport want = engine.Prune(ParseQuery(texts[which]));
+    const std::string context = "query " + std::to_string(which) +
+                                " on generation " +
+                                std::to_string(report.snapshot_generation);
+    EXPECT_FALSE(report.truncated) << context;
+    EXPECT_EQ(report.kept_triples, want.kept_triples) << context;
+    EXPECT_EQ(report.num_branches, want.num_branches) << context;
+    ASSERT_EQ(report.var_candidates.size(), want.var_candidates.size())
+        << context;
+    for (const auto& [var, bits] : want.var_candidates) {
+      auto found = report.var_candidates.find(var);
+      ASSERT_NE(found, report.var_candidates.end()) << context << " ?" << var;
+      EXPECT_EQ(found->second, bits) << context << " ?" << var;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sparqlsim::sim

@@ -101,6 +101,88 @@ TEST(AdmissionGateTest, ConcurrentProducersNeverExceedTheLimit) {
   gate.WaitIdle();  // must not block when idle
 }
 
+TEST(AdmissionGateTest, LowPriorityYieldsToAWaitingHighProducer) {
+  AdmissionGate gate(1);
+  gate.Acquire();  // occupy the only slot
+
+  std::atomic<bool> high_admitted{false};
+  std::thread high([&] {
+    gate.Acquire(AdmissionGate::Priority::kHigh);
+    high_admitted = true;
+  });
+  // Wait until the high producer is registered as waiting; from that point
+  // a low producer may not take the freed slot.
+  while (gate.stats().high.blocked == 0) std::this_thread::yield();
+  EXPECT_FALSE(gate.TryAcquire(AdmissionGate::Priority::kLow));
+
+  gate.Release();
+  high.join();
+  EXPECT_TRUE(high_admitted.load());
+  // With no high producer waiting anymore, low admits normally once a slot
+  // frees.
+  gate.Release();
+  EXPECT_TRUE(gate.TryAcquire(AdmissionGate::Priority::kLow));
+  gate.Release();
+  gate.WaitIdle();
+}
+
+TEST(AdmissionGateTest, PerClassStatsCountAdmissionsAndBlocking) {
+  AdmissionGate gate(2);
+  gate.Acquire(AdmissionGate::Priority::kHigh);           // free slot, no block
+  ASSERT_TRUE(gate.TryAcquire(AdmissionGate::Priority::kLow));  // fills up
+
+  std::thread blocked_low([&] { gate.Acquire(AdmissionGate::Priority::kLow); });
+  while (gate.stats().low.blocked == 0) std::this_thread::yield();
+  gate.Release();
+  blocked_low.join();
+
+  AdmissionGate::Stats stats = gate.stats();
+  EXPECT_EQ(stats.high.admitted, 1u);
+  EXPECT_EQ(stats.high.blocked, 0u);
+  EXPECT_EQ(stats.high.wait_seconds, 0.0);
+  EXPECT_EQ(stats.low.admitted, 2u);
+  // Only the Acquire that actually parked counts as blocked (and only it
+  // accumulates wait time).
+  EXPECT_EQ(stats.low.blocked, 1u);
+  EXPECT_GE(stats.low.wait_seconds, 0.0);
+
+  gate.Release();
+  gate.Release();
+  gate.WaitIdle();
+}
+
+TEST(AdmissionGateTest, SteadyLowTrafficCannotStarveHigh) {
+  // One slot, a stream of low producers, one high producer arriving while
+  // the slot is busy: the high producer must get the next free slot even
+  // though low producers are queued before and after it.
+  AdmissionGate gate(1);
+  gate.Acquire(AdmissionGate::Priority::kLow);
+
+  std::atomic<bool> high_done{false};
+  std::atomic<size_t> low_done{0};
+  std::vector<std::thread> lows;
+  for (int i = 0; i < 3; ++i) {
+    lows.emplace_back([&] {
+      gate.Acquire(AdmissionGate::Priority::kLow);
+      ++low_done;
+      gate.Release();
+    });
+  }
+  std::thread high([&] {
+    gate.Acquire(AdmissionGate::Priority::kHigh);
+    high_done = true;
+    gate.Release();
+  });
+  while (gate.stats().high.blocked == 0) std::this_thread::yield();
+
+  gate.Release();  // first freed slot goes to the high class
+  high.join();
+  EXPECT_TRUE(high_done.load());
+  for (std::thread& t : lows) t.join();
+  EXPECT_EQ(low_done.load(), 3u);
+  gate.WaitIdle();
+}
+
 TEST(AdmissionGateTest, WaitIdleBlocksUntilAllSlotsReleased) {
   AdmissionGate gate(4);
   gate.Acquire();

@@ -10,6 +10,7 @@
 #   SPARQLSIM_DBPEDIA_SCALE     (default 1)
 #   SPARQLSIM_BENCH_REPS        (default 2)
 #   SPARQLSIM_PARALLEL_QUERIES  (default 6)
+#   SPARQLSIM_SERVICE_PUBLISHES (default 8; snapshot-churn publications)
 #   SPARQLSIM_DB                optional ingested .gdb all benches run on
 #   SPARQLSIM_PUBLISH_SUMMARY   1 to also copy the consolidated summary to
 #                               the committed repo-root BENCH_summary.json
@@ -64,6 +65,7 @@ export SPARQLSIM_LUBM_UNIVERSITIES="${SPARQLSIM_LUBM_UNIVERSITIES:-2}"
 export SPARQLSIM_DBPEDIA_SCALE="${SPARQLSIM_DBPEDIA_SCALE:-1}"
 export SPARQLSIM_BENCH_REPS="${SPARQLSIM_BENCH_REPS:-2}"
 export SPARQLSIM_PARALLEL_QUERIES="${SPARQLSIM_PARALLEL_QUERIES:-6}"
+export SPARQLSIM_SERVICE_PUBLISHES="${SPARQLSIM_SERVICE_PUBLISHES:-8}"
 
 run_bench() {
   local name="$1"
@@ -130,7 +132,8 @@ SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_service.json" run_bench bench_service
   # Structured per-bench JSON, embedded verbatim: the ablation block carries
   # the incremental-evaluation on/off comparison (seconds + per-variant
   # rounds/updates/delta counters), parallel the thread scaling, service the
-  # throughput numbers.
+  # throughput numbers across the worker, shard-count, and snapshot-churn
+  # axes (samples[].shards + the churn object).
   echo '  "ablation":'
   cat "$RUN_DIR/bench_ablation.json"
   echo '  ,"parallel":'

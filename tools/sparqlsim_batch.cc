@@ -21,14 +21,26 @@
 //                       default; bit-identical results either way)
 //   --kernel MODE       candidate-set representation: auto (default),
 //                       dense, or compressed (bit-identical results)
+//   --shards N          column-shard each fixpoint round into N ranges
+//                       (bit-identical results for every value)
+//   --deadline-ms N     per-query compute budget; expired queries return a
+//                       sound over-approximation marked "truncated"
+//   --priority high|low default admission class for untagged queries
 //   --repeat K          submit the whole file K times (default 1); repeats
 //                       exercise dedup + the solution cache
 //   --db FILE           read the database from binary SQSIMDB1 format
+//
+// A query block may be tagged with a line that is exactly `!high` or
+// `!low`: that block admits under the tagged class, overriding --priority.
+// Low-priority blocks yield admission slots to waiting high-priority ones
+// (see util::AdmissionGate), which the per-class wait statistics printed
+// after the batch make visible.
 //
 // Example:
 //   printf 'SELECT * WHERE { ?d <directed> ?m . }\n' > q.rq
 //   sparqlsim_batch --queue-depth 8 --cache-capacity 64 movie.nt q.rq
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +56,7 @@
 #include "sim/query_service.h"
 #include "sparql/parser.h"
 #include "tool_common.h"
+#include "util/admission_gate.h"
 #include "util/stopwatch.h"
 
 namespace sparqlsim {
@@ -56,36 +69,61 @@ int Usage() {
       "                       [--cache-capacity N] [--cache|--no-cache]\n"
       "                       [--incremental|--no-incremental]\n"
       "                       [--kernel auto|dense|compressed]\n"
+      "                       [--shards N] [--deadline-ms N]\n"
+      "                       [--priority high|low]\n"
       "                       [--repeat K] [--db file.gdb] [data.nt] "
       "<queries.rq>\n"
       "       query file: one query per blank-line-separated block, "
-      "'#' comments\n");
+      "'#' comments,\n"
+      "       '!high'/'!low' lines tag the block's admission class\n");
   return 2;
 }
 
 using tools::LoadDatabase;
 
 /// Splits the query file into blank-line-separated blocks, dropping '#'
-/// comment lines, and parses each block.
-bool LoadQueries(const char* path, std::vector<sparql::Query>* queries) {
+/// comment lines, and parses each block. A line that is exactly `!high` or
+/// `!low` (modulo surrounding whitespace) tags the enclosing block's
+/// admission class; untagged blocks get `default_priority`.
+bool LoadQueries(const char* path,
+                 util::AdmissionGate::Priority default_priority,
+                 std::vector<sparql::Query>* queries,
+                 std::vector<util::AdmissionGate::Priority>* priorities) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot open query file %s\n", path);
     return false;
   }
   std::vector<std::string> blocks(1);
+  std::vector<util::AdmissionGate::Priority> tags(1, default_priority);
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line[0] == '#') continue;
-    bool blank = line.find_first_not_of(" \t\r") == std::string::npos;
-    if (blank) {
-      if (!blocks.back().empty()) blocks.emplace_back();
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      if (!blocks.back().empty()) {
+        blocks.emplace_back();
+        tags.push_back(default_priority);
+      }
+      continue;
+    }
+    const size_t last = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(first, last - first + 1);
+    if (token == "!high") {
+      tags.back() = util::AdmissionGate::Priority::kHigh;
+      continue;
+    }
+    if (token == "!low") {
+      tags.back() = util::AdmissionGate::Priority::kLow;
       continue;
     }
     blocks.back() += line;
     blocks.back() += '\n';
   }
-  if (blocks.back().empty()) blocks.pop_back();
+  if (blocks.back().empty()) {
+    blocks.pop_back();
+    tags.pop_back();
+  }
   if (blocks.empty()) {
     std::fprintf(stderr, "no queries in %s\n", path);
     return false;
@@ -98,6 +136,7 @@ bool LoadQueries(const char* path, std::vector<sparql::Query>* queries) {
       return false;
     }
     queries->push_back(std::move(parsed).value());
+    priorities->push_back(tags[i]);
   }
   return true;
 }
@@ -106,6 +145,8 @@ int Run(int argc, char** argv) {
   sim::QueryServiceOptions options;
   options.num_workers = 0;  // all hardware threads
   size_t repeat = 1;
+  size_t deadline_ms = 0;  // 0 = no deadline
+  auto default_priority = util::AdmissionGate::Priority::kHigh;
   const char* db_path = nullptr;
   std::vector<const char*> args;
 
@@ -152,6 +193,27 @@ int Run(int argc, char** argv) {
     if (!flag_value(i, "--repeat", &value)) return Usage();
     if (value != nullptr) {
       if (!parse_size(value, &repeat) || repeat == 0) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--shards", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &options.solver.num_shards)) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--deadline-ms", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &deadline_ms)) return Usage();
+      continue;
+    }
+    if (!flag_value(i, "--priority", &value)) return Usage();
+    if (value != nullptr) {
+      if (std::strcmp(value, "high") == 0) {
+        default_priority = util::AdmissionGate::Priority::kHigh;
+      } else if (std::strcmp(value, "low") == 0) {
+        default_priority = util::AdmissionGate::Priority::kLow;
+      } else {
+        return Usage();
+      }
       continue;
     }
     if (!flag_value(i, "--db", &value)) return Usage();
@@ -207,7 +269,10 @@ int Run(int argc, char** argv) {
   if (!db) return 1;
 
   std::vector<sparql::Query> queries;
-  if (!LoadQueries(query_path, &queries)) return 1;
+  std::vector<util::AdmissionGate::Priority> priorities;
+  if (!LoadQueries(query_path, default_priority, &queries, &priorities)) {
+    return 1;
+  }
 
   sim::QueryService service(&*db, std::move(options));
   const size_t total = queries.size() * repeat;
@@ -218,8 +283,13 @@ int Run(int argc, char** argv) {
   std::vector<std::future<sim::PruneReport>> futures;
   futures.reserve(total);
   for (size_t r = 0; r < repeat; ++r) {
-    for (const sparql::Query& q : queries) {
-      futures.push_back(service.Submit(q));
+    for (size_t q = 0; q < queries.size(); ++q) {
+      sim::SubmitOptions submit;
+      submit.priority = priorities[q];
+      if (deadline_ms > 0) {
+        submit.deadline = std::chrono::milliseconds(deadline_ms);
+      }
+      futures.push_back(service.Submit(queries[q], submit));
     }
   }
   std::vector<sim::PruneReport> reports;
@@ -231,8 +301,9 @@ int Run(int argc, char** argv) {
               "rounds", "kept");
   for (size_t i = 0; i < reports.size(); ++i) {
     const sim::PruneReport& r = reports[i];
-    std::printf("q%03zu   %10.5f %9zu %8zu %10zu\n", i, r.total_seconds,
-                r.num_branches, r.stats.rounds, r.kept_triples.size());
+    std::printf("q%03zu   %10.5f %9zu %8zu %10zu%s\n", i, r.total_seconds,
+                r.num_branches, r.stats.rounds, r.kept_triples.size(),
+                r.truncated ? "  [truncated]" : "");
   }
 
   const sim::QueryService::Stats stats = service.stats();
@@ -246,6 +317,18 @@ int Run(int argc, char** argv) {
               "peak in-flight %zu\n",
               stats.submitted, stats.executed, stats.coalesced,
               stats.peak_in_flight);
+  auto mean_wait = [](const util::AdmissionGate::ClassStats& cls) {
+    return cls.blocked == 0 ? 0.0 : cls.wait_seconds / cls.blocked;
+  };
+  std::printf("admission: high %zu admitted / %zu blocked (mean wait "
+              "%.4fs), low %zu admitted / %zu blocked (mean wait %.4fs)\n",
+              stats.gate.high.admitted, stats.gate.high.blocked,
+              mean_wait(stats.gate.high), stats.gate.low.admitted,
+              stats.gate.low.blocked, mean_wait(stats.gate.low));
+  std::printf("snapshots: %zu live (peak %zu), %zu published, "
+              "%zu deadline-truncated\n",
+              stats.snapshots_live, stats.peak_snapshots_live,
+              stats.snapshots_published, stats.deadline_truncated);
   std::printf("cache: soi %zu hits / %zu misses, solution %zu hits / %zu "
               "misses\n",
               stats.cache.soi_hits, stats.cache.soi_misses,

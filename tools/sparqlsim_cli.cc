@@ -26,14 +26,26 @@
 //                 driven GAP/RLE compression with hysteresis, the default),
 //                 dense (always hierarchical word arrays), or compressed
 //                 (always run lists). Bit-identical results in every mode.
+//   --shards N    column-shard each fixpoint round into N word-aligned
+//                 ranges (0 = env default SPARQLSIM_FORCE_SHARDS or 1).
+//                 Bit-identical results for every value.
+//   --deadline-ms N  per-query compute budget for sim/prune; an expired
+//                 query stops at the next round boundary and reports a
+//                 sound over-approximation (marked "truncated").
+//   --priority P  admission class for sim/prune: high (default) or low
+//                 (yields to waiting high-priority work).
 //   --db FILE     read the database from a binary SQSIMDB1 file (as written
 //                 by sparqlsim_ingest or `convert`) and drop the positional
 //                 <data> argument: `sparqlsim --db lubm.gdb stats`.
+//
+// --deadline-ms/--priority route sim/prune through a sim::QueryService (the
+// serving layer), whose admission and snapshot statistics print afterwards.
 //
 // Databases load from N-Triples (.nt) or the binary format (.gdb).
 // Queries are read from a file or stdin ("-"). Example:
 //   echo 'SELECT * WHERE { ?d <directed> ?m . }' | sparqlsim query movie.nt -
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +63,7 @@
 #include "graph/ntriples.h"
 #include "sim/hhk_baseline.h"
 #include "sim/ma_baseline.h"
+#include "sim/query_service.h"
 #include "sim/sim_engine.h"
 #include "sparql/ast.h"
 #include "sparql/parser.h"
@@ -65,7 +78,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
                "[--cache-capacity N] [--incremental|--no-incremental] "
-               "[--kernel auto|dense|compressed] "
+               "[--kernel auto|dense|compressed] [--shards N] "
+               "[--deadline-ms N] [--priority high|low] "
                "[--db file.gdb] "
                "<stats|query|prune|sim|bench|explain|convert> "
                "[data.nt] [query.rq|-] [out.nt]\n"
@@ -127,9 +141,7 @@ int CmdQuery(const graph::GraphDatabase& db, const sparql::Query& query) {
   return 0;
 }
 
-int CmdSim(const sim::SimEngine& engine, const sparql::Query& query) {
-  const graph::GraphDatabase& db = engine.db();
-  sim::PruneReport report = engine.Prune(query);
+int PrintSim(const graph::GraphDatabase& db, const sim::PruneReport& report) {
   for (const auto& [var, candidates] : report.var_candidates) {
     std::printf("?%s: %zu candidates\n", var.c_str(), candidates.Count());
     size_t shown = 0;
@@ -140,21 +152,25 @@ int CmdSim(const sim::SimEngine& engine, const sparql::Query& query) {
     });
     if (shown > 10) std::printf("  ... (%zu more)\n", shown - 10);
   }
-  std::fprintf(stderr, "solved in %.4fs (%zu rounds, %zu branches)\n",
-               report.total_seconds, report.stats.rounds,
-               report.num_branches);
+  std::fprintf(stderr, "solved in %.4fs (%zu rounds, %zu branches, "
+               "%zu shards)%s\n",
+               report.total_seconds, report.stats.rounds, report.num_branches,
+               report.stats.shards_used,
+               report.truncated ? " [truncated: deadline expired; candidate "
+                                  "sets are a sound over-approximation]"
+                                : "");
   return 0;
 }
 
-int CmdPrune(const sim::SimEngine& engine, const sparql::Query& query,
-             const char* out_path) {
-  const graph::GraphDatabase& db = engine.db();
-  sim::PruneReport report = engine.Prune(query);
-  std::printf("kept %zu of %zu triples (%.3f%%) in %.4fs\n",
+int PrintPrune(const graph::GraphDatabase& db, const sim::PruneReport& report,
+               const char* out_path) {
+  std::printf("kept %zu of %zu triples (%.3f%%) in %.4fs%s\n",
               report.kept_triples.size(), db.NumTriples(),
               100.0 * static_cast<double>(report.kept_triples.size()) /
                   static_cast<double>(std::max<size_t>(1, db.NumTriples())),
-              report.total_seconds);
+              report.total_seconds,
+              report.truncated ? " [truncated: superset of the exact prune]"
+                               : "");
   if (out_path != nullptr) {
     graph::GraphDatabase pruned = db.Restrict(report.kept_triples);
     std::ofstream out(out_path);
@@ -166,6 +182,24 @@ int CmdPrune(const sim::SimEngine& engine, const sparql::Query& query,
     std::fprintf(stderr, "pruned database written to %s\n", out_path);
   }
   return 0;
+}
+
+void PrintServiceStats(const sim::QueryService::Stats& stats) {
+  auto mean_wait = [](const util::AdmissionGate::ClassStats& cls) {
+    return cls.blocked == 0 ? 0.0 : cls.wait_seconds / cls.blocked;
+  };
+  std::fprintf(stderr,
+               "service: admission high %zu admitted / %zu blocked "
+               "(mean wait %.4fs), low %zu admitted / %zu blocked "
+               "(mean wait %.4fs)\n",
+               stats.gate.high.admitted, stats.gate.high.blocked,
+               mean_wait(stats.gate.high), stats.gate.low.admitted,
+               stats.gate.low.blocked, mean_wait(stats.gate.low));
+  std::fprintf(stderr,
+               "service: snapshots %zu live (peak %zu), %zu published, "
+               "%zu deadline-truncated\n",
+               stats.snapshots_live, stats.peak_snapshots_live,
+               stats.snapshots_published, stats.deadline_truncated);
 }
 
 int CmdBench(const sim::SimEngine& engine, const sparql::Query& query) {
@@ -217,15 +251,43 @@ int Run(int argc, char** argv) {
   sim::SolverOptions options;
   options.num_threads = 0;  // CLI default: all hardware threads
   const char* db_path = nullptr;
+  size_t deadline_ms = 0;  // 0 = no deadline
+  auto priority = util::AdmissionGate::Priority::kHigh;
+  bool use_service = false;  // --deadline-ms/--priority route via the service
   std::vector<const char*> args;
-  auto parse_threads = [&](const char* text) {
+  auto parse_size_flag = [](const char* text, const char* name, size_t* out) {
     char* end = nullptr;
     unsigned long long value = std::strtoull(text, &end, 10);
     if (end == text || *end != '\0') {
-      std::fprintf(stderr, "invalid --threads value '%s'\n", text);
+      std::fprintf(stderr, "invalid %s value '%s'\n", name, text);
       return false;
     }
-    options.num_threads = static_cast<size_t>(value);
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  auto parse_threads = [&](const char* text) {
+    return parse_size_flag(text, "--threads", &options.num_threads);
+  };
+  auto parse_shards = [&](const char* text) {
+    return parse_size_flag(text, "--shards", &options.num_shards);
+  };
+  auto parse_deadline = [&](const char* text) {
+    if (!parse_size_flag(text, "--deadline-ms", &deadline_ms)) return false;
+    use_service = true;
+    return true;
+  };
+  auto parse_priority = [&](const char* text) {
+    if (std::strcmp(text, "high") == 0) {
+      priority = util::AdmissionGate::Priority::kHigh;
+    } else if (std::strcmp(text, "low") == 0) {
+      priority = util::AdmissionGate::Priority::kLow;
+    } else {
+      std::fprintf(stderr,
+                   "invalid --priority value '%s' (expected high|low)\n",
+                   text);
+      return false;
+    }
+    use_service = true;
     return true;
   };
   auto parse_kernel = [&](const char* text) {
@@ -304,6 +366,30 @@ int Run(int argc, char** argv) {
       if (!parse_kernel(argv[i] + 9)) return Usage();
       continue;
     }
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      if (i + 1 >= argc || !parse_shards(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      if (!parse_shards(argv[i] + 9)) return Usage();
+      continue;
+    }
+    if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      if (i + 1 >= argc || !parse_deadline(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--deadline-ms=", 14) == 0) {
+      if (!parse_deadline(argv[i] + 14)) return Usage();
+      continue;
+    }
+    if (std::strcmp(argv[i], "--priority") == 0) {
+      if (i + 1 >= argc || !parse_priority(argv[++i])) return Usage();
+      continue;
+    }
+    if (std::strncmp(argv[i], "--priority=", 11) == 0) {
+      if (!parse_priority(argv[i] + 11)) return Usage();
+      continue;
+    }
     args.push_back(argv[i]);
   }
 
@@ -342,12 +428,36 @@ int Run(int argc, char** argv) {
 
   if (std::strcmp(command, "query") == 0) return CmdQuery(db, query);
 
-  sim::SimEngine engine(&db, options);
-  if (std::strcmp(command, "sim") == 0) return CmdSim(engine, query);
-  if (std::strcmp(command, "prune") == 0) {
-    return CmdPrune(engine, query,
-                    args.size() > next + 1 ? args[next + 1] : nullptr);
+  const bool is_sim = std::strcmp(command, "sim") == 0;
+  const bool is_prune = std::strcmp(command, "prune") == 0;
+  if (is_sim || is_prune) {
+    sim::PruneReport report;
+    if (use_service) {
+      // Serving-layer path: admission class and deadline are service
+      // concepts, so the query goes through a (single-slot) QueryService.
+      sim::QueryServiceOptions service_options;
+      service_options.num_workers = 1;
+      service_options.queue_depth = 1;
+      service_options.solver = options;
+      sim::QueryService service(&db, service_options);
+      sim::SubmitOptions submit;
+      submit.priority = priority;
+      if (deadline_ms > 0) {
+        submit.deadline = std::chrono::milliseconds(deadline_ms);
+      }
+      report = service.Submit(query, submit).get();
+      service.Drain();
+      PrintServiceStats(service.stats());
+    } else {
+      sim::SimEngine engine(&db, options);
+      report = engine.Prune(query);
+    }
+    if (is_sim) return PrintSim(db, report);
+    return PrintPrune(db, report,
+                      args.size() > next + 1 ? args[next + 1] : nullptr);
   }
+
+  sim::SimEngine engine(&db, options);
   if (std::strcmp(command, "bench") == 0) return CmdBench(engine, query);
   if (std::strcmp(command, "explain") == 0) {
     std::printf("%s",
