@@ -214,6 +214,46 @@ GraphDatabase GraphDatabase::WithTriplesAdded(
   return RebuildChanged(std::move(per_predicate), &touched);
 }
 
+GraphDatabase GraphDatabase::WithTriplesRemoved(
+    std::span<const Triple> removed) const {
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> gone(
+      NumPredicates());
+  std::vector<bool> touched(NumPredicates(), false);
+  for (const Triple& t : removed) {
+    gone[t.predicate].emplace_back(t.subject, t.object);
+    touched[t.predicate] = true;
+  }
+  // Touched predicates materialize their surviving entries (existing minus
+  // the removal set); RebuildChanged shares every untouched slab outright
+  // and recognizes absent-only removals by its lockstep compare, so
+  // deleting triples that do not exist is a no-op down to the generation.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> per_predicate(
+      NumPredicates());
+  for (uint32_t p = 0; p < NumPredicates(); ++p) {
+    if (!touched[p]) continue;
+    auto& victims = gone[p];
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    per_predicate[p].reserve(slabs_[p]->forward.Nnz());
+    ForEachTriple(p, [&](uint32_t s, uint32_t o) {
+      const std::pair<uint32_t, uint32_t> entry{s, o};
+      if (!std::binary_search(victims.begin(), victims.end(), entry)) {
+        per_predicate[p].emplace_back(s, o);
+      }
+    });
+  }
+  return RebuildChanged(std::move(per_predicate), &touched);
+}
+
+std::vector<uint32_t> GraphDatabase::ChangedPredicates(
+    const GraphDatabase& other) const {
+  std::vector<uint32_t> changed;
+  for (uint32_t p = 0; p < NumPredicates(); ++p) {
+    if (slabs_[p] != other.slabs_[p]) changed.push_back(p);
+  }
+  return changed;
+}
+
 size_t GraphDatabase::ApproxMatrixBytes() const {
   size_t total = 0;
   for (const auto& slab : slabs_) {

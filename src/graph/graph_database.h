@@ -184,6 +184,30 @@ class GraphDatabase {
   /// addition was a duplicate the generation is kept too.
   GraphDatabase WithTriplesAdded(std::span<const Triple> added) const;
 
+  /// Copy-on-write delta deletion, the retraction mirror of
+  /// WithTriplesAdded: the result contains this database's triples minus
+  /// `removed`. Only predicates occurring in `removed` rebuild; removing a
+  /// triple that is not present is a no-op, and if nothing was actually
+  /// removed the generation is kept.
+  ///
+  /// The node and predicate dictionaries are shared untouched — ids are
+  /// *never* compacted, even when a node loses its last triple — so
+  /// dictionary intern order, binary serialization bytes of an unchanged
+  /// triple set, and generation-keyed cache keys all survive a
+  /// delete/re-insert round trip.
+  GraphDatabase WithTriplesRemoved(std::span<const Triple> removed) const;
+
+  /// Predicates whose slab *may* differ from `other`'s, by COW slab
+  /// identity: along a Restrict()/WithTriplesAdded()/WithTriplesRemoved()
+  /// chain an unchanged predicate shares its slab pointer, so pointer
+  /// equality proves content equality and the returned set is the exact
+  /// per-predicate dirty set of the publish chain between the two
+  /// versions. For databases built independently the set over-approximates
+  /// (equal content, different slabs) — safe for consumers that treat
+  /// "dirty" as "must re-examine". Both databases must share the same
+  /// predicate universe.
+  std::vector<uint32_t> ChangedPredicates(const GraphDatabase& other) const;
+
   /// Total CSR footprint of all adjacency matrices.
   size_t ApproxMatrixBytes() const;
   /// What the footprint would be with gap-length-encoded dense rows

@@ -222,13 +222,106 @@ uint64_t QueryService::ApplyRestrict(std::span<const graph::Triple> kept) {
   // they keep solving on their pinned snapshots throughout.
   std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   graph::GraphDatabase next = CurrentContext()->db->Restrict(kept);
-  return PublishLocked(std::move(next));
+  const uint64_t generation = PublishLocked(std::move(next));
+  NotifySubscribersLocked();
+  return generation;
 }
 
 uint64_t QueryService::IngestTriples(std::span<const graph::Triple> added) {
   std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   graph::GraphDatabase next = CurrentContext()->db->WithTriplesAdded(added);
-  return PublishLocked(std::move(next));
+  const uint64_t generation = PublishLocked(std::move(next));
+  NotifySubscribersLocked();
+  return generation;
+}
+
+uint64_t QueryService::DeleteTriples(std::span<const graph::Triple> removed) {
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  graph::GraphDatabase next = CurrentContext()->db->WithTriplesRemoved(removed);
+  const uint64_t generation = PublishLocked(std::move(next));
+  NotifySubscribersLocked();
+  return generation;
+}
+
+QueryService::Subscription::Subscription(
+    const sparql::Query& query,
+    std::shared_ptr<const graph::GraphDatabase> snapshot,
+    StandingQueryOptions options)
+    : standing_(query, std::move(snapshot), std::move(options)) {
+  // The registration-time cold solve is the subscriber's first report.
+  pending_.push_back(standing_.report());
+}
+
+void QueryService::Subscription::OnPublish(
+    std::shared_ptr<const graph::GraphDatabase> next) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.push_back(standing_.ApplySnapshot(std::move(next)));
+}
+
+std::vector<PruneReport> QueryService::Subscription::TakeReports() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PruneReport> out;
+  out.swap(pending_);
+  return out;
+}
+
+PruneReport QueryService::Subscription::Current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return standing_.report();
+}
+
+StandingStats QueryService::Subscription::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return standing_.stats();
+}
+
+uint64_t QueryService::Subscription::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return standing_.generation();
+}
+
+std::shared_ptr<QueryService::Subscription> QueryService::Subscribe(
+    const sparql::Query& query) {
+  // Under publish_mutex_ so the cold solve and the weak registration are
+  // atomic against publishes: the subscription sees exactly one report per
+  // generation from its pinned snapshot onward — none skipped, none
+  // doubled.
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
+  StandingQueryOptions standing_options;
+  standing_options.solver = options_.solver;
+  auto subscription = std::shared_ptr<Subscription>(new Subscription(
+      query, CurrentContext()->db, std::move(standing_options)));
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscriptions_.push_back(subscription);
+  ++subscription_reports_;  // the initial cold report
+  return subscription;
+}
+
+void QueryService::NotifySubscribersLocked() {
+  std::vector<std::shared_ptr<Subscription>> live;
+  std::shared_ptr<const graph::GraphDatabase> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = current_->db;
+    subscriptions_.erase(
+        std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                       [](const auto& weak) { return weak.expired(); }),
+        subscriptions_.end());
+    if (subscriptions_.empty()) return;
+    live.reserve(subscriptions_.size());
+    for (const auto& weak : subscriptions_) {
+      if (auto pinned = weak.lock()) live.push_back(std::move(pinned));
+    }
+  }
+  // Maintenance runs outside mutex_ (readers keep submitting) but under
+  // publish_mutex_ (reports stay in publish order). Lock order:
+  // publish_mutex_ -> Subscription::mutex_, and separately
+  // publish_mutex_ -> mutex_; never mutex_ -> Subscription::mutex_.
+  for (const auto& subscription : live) {
+    subscription->OnPublish(snapshot);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  subscription_reports_ += live.size();
 }
 
 void QueryService::SweepSnapshotsLocked() {
@@ -276,6 +369,10 @@ QueryService::Stats QueryService::stats() const {
     out.snapshots_live = snapshots_live_;
     out.peak_snapshots_live = peak_snapshots_live_;
     out.deadline_truncated = deadline_truncated_;
+    out.subscription_reports = subscription_reports_;
+    for (const auto& weak : subscriptions_) {
+      if (!weak.expired()) ++out.subscriptions;
+    }
   }
   out.gate = gate_.stats();
   if (cache_ != nullptr) {

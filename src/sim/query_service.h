@@ -17,6 +17,7 @@
 #include "sim/sim_engine.h"
 #include "sim/soi_cache.h"
 #include "sim/solver.h"
+#include "sim/standing_query.h"
 #include "sparql/ast.h"
 #include "util/admission_gate.h"
 #include "util/thread_pool.h"
@@ -135,8 +136,51 @@ class QueryService {
     size_t peak_snapshots_live = 0;
     /// Reports returned with `truncated` set (deadline expiry).
     size_t deadline_truncated = 0;
+    /// Standing queries currently registered (live Subscription handles).
+    size_t subscriptions = 0;
+    /// Reports delivered to subscriptions: one per live subscription per
+    /// publication, plus each subscription's initial cold report.
+    size_t subscription_reports = 0;
     /// Per-priority-class admission counters (waits, blocks).
     util::AdmissionGate::Stats gate;
+  };
+
+  /// A standing query registered with Subscribe(). The service drives it
+  /// from the publish path: every ApplyRestrict/IngestTriples/
+  /// DeleteTriples re-converges the standing solution onto the published
+  /// snapshot (incremental maintenance; see sim::StandingQuery) and
+  /// appends the resulting PruneReport, in publish order, for the
+  /// subscriber to drain with TakeReports(). The first pending report is
+  /// the registration-time cold solve. Dropping the shared_ptr handle
+  /// unsubscribes (the service holds subscriptions weakly).
+  ///
+  /// Thread-safety: TakeReports/Current/stats may race the publish path
+  /// freely; maintenance itself runs on the publisher's thread, so
+  /// publish latency includes subscription upkeep — the price of reports
+  /// that are exact per generation and never skip one.
+  class Subscription {
+   public:
+    /// Reports not yet taken, in publish order; empties the queue.
+    std::vector<PruneReport> TakeReports();
+    /// Copy of the latest converged report.
+    PruneReport Current() const;
+    /// Maintenance counters (maintained vs recomputed branches, arming
+    /// fractions, carried state).
+    StandingStats stats() const;
+    /// Generation the standing solution is currently converged against.
+    uint64_t generation() const;
+
+   private:
+    friend class QueryService;
+    Subscription(const sparql::Query& query,
+                 std::shared_ptr<const graph::GraphDatabase> snapshot,
+                 StandingQueryOptions options);
+    /// Publish-path hook: re-converge onto `next` and queue the report.
+    void OnPublish(std::shared_ptr<const graph::GraphDatabase> next);
+
+    mutable std::mutex mutex_;
+    StandingQuery standing_;
+    std::vector<PruneReport> pending_;
   };
 
   /// Binds the service to a snapshot of `*db` taken at construction
@@ -173,6 +217,19 @@ class QueryService {
   /// GraphDatabase::WithTriplesAdded) as the next version. Returns the
   /// published generation. Does not block readers.
   uint64_t IngestTriples(std::span<const graph::Triple> added);
+
+  /// Publishes the newest snapshot minus `removed` (absent triples are
+  /// ignored; node ids are never compacted — see
+  /// GraphDatabase::WithTriplesRemoved) as the next version. Returns the
+  /// published generation — unchanged if nothing was removed. Does not
+  /// block readers.
+  uint64_t DeleteTriples(std::span<const graph::Triple> removed);
+
+  /// Registers `query` as a standing query against the current snapshot
+  /// (cold-solving it inline) and returns its handle; every later publish
+  /// appends an incrementally maintained report. Dropping the handle
+  /// unsubscribes.
+  std::shared_ptr<Subscription> Subscribe(const sparql::Query& query);
 
   /// The snapshot new admissions currently pin. Holding the returned
   /// pointer keeps the version (and its cache generation) alive.
@@ -224,6 +281,12 @@ class QueryService {
   /// and sweeps the cache down to the live generation set. mutex_ held.
   void SweepSnapshotsLocked();
 
+  /// Re-converges every live subscription onto the just-published snapshot
+  /// (pruning dead weak_ptrs). Caller holds publish_mutex_, so reports are
+  /// delivered in publish order and no generation is skipped; maintenance
+  /// runs on the publisher's thread.
+  void NotifySubscribersLocked();
+
   /// Worker-side: solve on the pinned snapshot, then settle every waiter
   /// of `full_key`.
   void RunQuery(const std::string& full_key,
@@ -259,6 +322,10 @@ class QueryService {
   size_t snapshots_live_ = 1;
   size_t peak_snapshots_live_ = 1;
   size_t deadline_truncated_ = 0;
+  /// Standing queries, held weakly: a dropped handle unsubscribes itself
+  /// at the next publish. Guarded by mutex_; OnPublish runs outside it.
+  std::vector<std::weak_ptr<Subscription>> subscriptions_;
+  size_t subscription_reports_ = 0;
 
   /// Declared last: destroyed first, which joins the workers while every
   /// member they touch is still alive.

@@ -147,6 +147,32 @@ void ForEachSetBitInRange(const util::BitVector& v, size_t begin, size_t end,
 
 }  // namespace
 
+/// Carried incremental state: the per-inequality tier vector of the last
+/// converged solve plus the shard shape it was built under (accumulator
+/// count lanes are wide iff the solve sharded, so a shard-shape change
+/// invalidates the whole carry).
+struct IncrementalCarry::Impl {
+  std::vector<IneqState> states;
+  size_t shards = 1;
+};
+
+IncrementalCarry::IncrementalCarry() = default;
+IncrementalCarry::~IncrementalCarry() = default;
+IncrementalCarry::IncrementalCarry(IncrementalCarry&&) noexcept = default;
+IncrementalCarry& IncrementalCarry::operator=(IncrementalCarry&&) noexcept =
+    default;
+
+void IncrementalCarry::Clear() { impl_.reset(); }
+
+size_t IncrementalCarry::LiveEntries() const {
+  if (impl_ == nullptr) return 0;
+  size_t live = 0;
+  for (const IneqState& st : impl_->states) {
+    if (st.product_valid || st.acc_valid) ++live;
+  }
+  return live;
+}
+
 size_t SolverOptions::ResolvedShards(size_t num_columns) const {
   size_t shards = num_shards;
   if (shards == 0) {
@@ -238,6 +264,15 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const SolverOptions& options,
                   const std::vector<util::BitVector>* initial,
                   util::ThreadPool* pool, const SolveControl* control) {
+  return SolveSoiWarm(soi, db, options, initial, pool, control,
+                      /*warm=*/nullptr);
+}
+
+Solution SolveSoiWarm(const Soi& soi, const graph::GraphDatabase& db,
+                      const SolverOptions& options,
+                      const std::vector<util::BitVector>* initial,
+                      util::ThreadPool* pool, const SolveControl* control,
+                      const WarmStart* warm) {
   util::Stopwatch timer;
   const size_t n = db.NumNodes();
   const size_t num_vars = soi.NumVars();
@@ -320,11 +355,29 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
 
   Work work;
   work.current = order;
+  // Warm start (sim::StandingQuery): seed the first round with the armed
+  // subset only — in sparsity order, like a full first round would be.
+  // Unarmed inequalities hold at `initial` by the WarmStart contract and
+  // re-activate through `dependents` if an input of theirs later shrinks.
+  if (warm != nullptr && warm->armed != nullptr) {
+    std::erase_if(work.current,
+                  [&](uint32_t idx) { return !(*warm->armed)[idx]; });
+  }
   work.queued.assign(num_ineqs, false);
 
   // Per-matrix-inequality incremental state (accumulator + selection
-  // snapshot); see IneqState. Allocated once, lazily populated.
+  // snapshot); see IneqState. Allocated once, lazily populated — or
+  // adopted from a WarmStart carry, minus the entries the caller declared
+  // stale, so retractions resume from products synchronized during the
+  // previous converged solve of this Soi.
   std::vector<IneqState> inc_state(options.incremental_eval ? num_matrix : 0);
+  IncrementalCarry* carry =
+      warm != nullptr && options.incremental_eval ? warm->carry : nullptr;
+  if (warm != nullptr && warm->carry != nullptr && carry == nullptr) {
+    // incremental_eval off: whatever the carry holds is from a different
+    // configuration and must not survive into a later incremental solve.
+    warm->carry->Clear();
+  }
 
   // --- Column-shard plan (SolverOptions::num_shards). --------------------
   // The universe is cut into contiguous word-aligned ranges; each round's
@@ -337,6 +390,20 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
   const std::vector<std::pair<uint32_t, uint32_t>> shard_plan =
       MakeShardPlan(n, options.ResolvedShards(n));
   const size_t num_shards = shard_plan.size();
+
+  if (carry != nullptr && carry->impl_ != nullptr) {
+    IncrementalCarry::Impl& held = *carry->impl_;
+    if (held.states.size() == num_matrix && held.shards == num_shards) {
+      inc_state = std::move(held.states);
+      if (warm->carry_invalid != nullptr) {
+        for (size_t i = 0; i < num_matrix; ++i) {
+          if ((*warm->carry_invalid)[i]) inc_state[i] = IneqState{};
+        }
+      }
+    }
+    // Moved-from or shape-mismatched state must not be adopted twice.
+    carry->impl_.reset();
+  }
 
   // Per-inequality result slots, reused across rounds. chi and counts are
   // frozen during the evaluation phase — every mask is a pure function of
@@ -707,6 +774,17 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
     work.current.clear();
     std::swap(work.current, work.next);
     std::fill(work.queued.begin(), work.queued.end(), false);
+  }
+
+  // Deposit the incremental state for the next warm solve of this Soi —
+  // but only from a converged run: a truncated run's products are
+  // synchronized to selections that are not a fixpoint, and the carry's
+  // validity reasoning (monotone shrink from the deposited state) starts
+  // from convergence.
+  if (carry != nullptr && !solution.truncated) {
+    carry->impl_ = std::make_unique<IncrementalCarry::Impl>();
+    carry->impl_->states = std::move(inc_state);
+    carry->impl_->shards = num_shards;
   }
 
   // Export the flat candidate vectors; harvest the representation-layer

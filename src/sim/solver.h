@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -216,6 +217,82 @@ struct SolveStats {
   void Accumulate(const SolveStats& other);
 };
 
+struct Solution;
+struct WarmStart;
+class IncrementalCarry;
+Solution SolveSoiWarm(const Soi& soi, const graph::GraphDatabase& db,
+                      const SolverOptions& options,
+                      const std::vector<util::BitVector>* initial,
+                      util::ThreadPool* pool, const SolveControl* control,
+                      const WarmStart* warm);
+
+/// Opaque per-inequality incremental-solver state (snapshot products,
+/// counted accumulators, and their synchronized selections) carried across
+/// solves of the *same* Soi instance — the state half of standing-query
+/// maintenance (sim::StandingQuery). A solve handed a carry through
+/// WarmStart adopts every entry the caller did not declare stale and, on
+/// reaching the fixpoint, deposits its final state back, so the next
+/// delta's retraction resumes from products synchronized during this
+/// solve instead of rebuilding them. Truncated solves deposit nothing
+/// (the carry is cleared: their state is not anchored to a fixpoint).
+///
+/// Not thread-safe; a carry belongs to exactly one solve at a time.
+class IncrementalCarry {
+ public:
+  IncrementalCarry();
+  ~IncrementalCarry();
+  IncrementalCarry(IncrementalCarry&&) noexcept;
+  IncrementalCarry& operator=(IncrementalCarry&&) noexcept;
+
+  /// Drops all carried state; the next solve starts with cold tiers.
+  void Clear();
+  /// Inequalities currently holding a live snapshot product or counted
+  /// accumulator (an engagement gauge for tests and stats).
+  size_t LiveEntries() const;
+
+ private:
+  friend Solution SolveSoiWarm(const Soi&, const graph::GraphDatabase&,
+                               const SolverOptions&,
+                               const std::vector<util::BitVector>*,
+                               util::ThreadPool*, const SolveControl*,
+                               const WarmStart*);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Warm-start description for re-converging a previously solved SOI after
+/// a graph delta (sim::StandingQuery). Combined with the `initial`
+/// assignment parameter of SolveSoiWarm, the solver computes the largest
+/// solution below `initial`, seeding the first round's worklist with only
+/// the `armed` inequalities; everything else re-activates through the
+/// normal dependency worklist when a variable it reads shrinks.
+///
+/// Soundness is the caller's contract: every unarmed inequality must
+/// already hold at the initial assignment against the new database (true
+/// for StandingQuery's construction — unarmed inequalities read only
+/// unchanged predicates and variables whose initial value is the old
+/// converged fixpoint). Given that, the solve's result is exactly the
+/// canonical fixpoint a cold solve would produce.
+struct WarmStart {
+  /// Unified-index arming mask, sized matrix_ineqs.size() +
+  /// sub_ineqs.size() with matrix inequalities first (the solver's
+  /// internal handle space): true = place on the initial worklist. Null
+  /// arms everything (plain solve semantics).
+  const std::vector<bool>* armed = nullptr;
+  /// Incremental state carried from the previous converged solve of the
+  /// same Soi; may be null. Ignored — and cleared — when
+  /// options.incremental_eval is off, and whenever the resolved shard
+  /// count changed since the state was deposited (accumulator count lanes
+  /// are shard-shape-dependent).
+  IncrementalCarry* carry = nullptr;
+  /// Per-matrix-inequality staleness for `carry` (sized
+  /// matrix_ineqs.size()): true = drop the carried entry — its matrix
+  /// changed, or chi(rhs) may exceed the entry's synchronized selection
+  /// (retraction requires monotone shrink from the sync point). Null
+  /// keeps every entry.
+  const std::vector<bool>* carry_invalid = nullptr;
+};
+
 /// The largest solution of an SOI: one candidate bit-vector per SOI
 /// variable. The induced relation {(v, o) | o in candidates[v]} is the
 /// largest dual simulation (Prop. 2 of the paper).
@@ -271,5 +348,18 @@ Solution SolveSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const std::vector<util::BitVector>* initial,
                   util::ThreadPool* pool,
                   const SolveControl* control = nullptr);
+
+/// Warm-start entry point (sim::StandingQuery): like the pool overload of
+/// SolveSoi, plus a WarmStart that seeds the first round's worklist with
+/// only the armed inequalities and threads incremental state across
+/// solves. `warm == nullptr` (or a default WarmStart) degrades to the
+/// plain solve. With an all-false arming mask and an `initial` equal to a
+/// converged fixpoint the solve performs zero rounds — a no-op delta is
+/// free.
+Solution SolveSoiWarm(const Soi& soi, const graph::GraphDatabase& db,
+                      const SolverOptions& options,
+                      const std::vector<util::BitVector>* initial,
+                      util::ThreadPool* pool, const SolveControl* control,
+                      const WarmStart* warm);
 
 }  // namespace sparqlsim::sim

@@ -68,6 +68,65 @@ TEST(BinaryIoTest, LubmRoundTripPreservesIds) {
   ExpectSameDatabase(db, loaded.value());
 }
 
+// Regression for the delete path: WithTriplesRemoved must never compact
+// node ids or reorder dictionary interning — even when a node loses its
+// last triple — so that delete + re-insert round-trips to *byte-identical*
+// serialization. Cache keys and .gdb reproducibility both hang on this.
+TEST(BinaryIoTest, DeleteThenRestoreSerializesByteIdentically) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 60;
+  config.num_edges = 200;
+  config.num_labels = 3;
+  config.seed = 9;
+  GraphDatabase db = datagen::MakeRandomDatabase(config);
+  std::stringstream original;
+  BinaryIo::Save(db, original);
+
+  // Remove every triple touching node 0 (orphaning it) plus a spread of
+  // others; the universe must survive unchanged.
+  std::vector<Triple> all = db.AllTriples();
+  std::vector<Triple> removed;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].subject == 0 || all[i].object == 0 || i % 7 == 0) {
+      removed.push_back(all[i]);
+    }
+  }
+  ASSERT_FALSE(removed.empty());
+  GraphDatabase pruned = db.WithTriplesRemoved(removed);
+  EXPECT_EQ(pruned.NumNodes(), db.NumNodes());
+  EXPECT_EQ(pruned.NumPredicates(), db.NumPredicates());
+  EXPECT_EQ(pruned.NumTriples(), db.NumTriples() - removed.size());
+  for (uint32_t node = 0; node < db.NumNodes(); ++node) {
+    EXPECT_EQ(pruned.nodes().Name(node), db.nodes().Name(node));
+  }
+
+  // The pruned database round-trips through serialization on its own...
+  std::stringstream pruned_bytes;
+  BinaryIo::Save(pruned, pruned_bytes);
+  auto reloaded = BinaryIo::Load(pruned_bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error_message();
+  ExpectSameDatabase(pruned, reloaded.value());
+
+  // ...and restoring the removed triples reproduces the original bytes
+  // exactly: same intern order, same ids, same slabs content.
+  GraphDatabase restored = pruned.WithTriplesAdded(removed);
+  std::stringstream restored_bytes;
+  BinaryIo::Save(restored, restored_bytes);
+  EXPECT_EQ(restored_bytes.str(), original.str());
+
+  // Removing absent triples is a content no-op: generation kept, bytes
+  // identical.
+  Triple absent{1, 0, 1};
+  while (db.Forward(absent.predicate).Test(absent.subject, absent.object)) {
+    ++absent.object;  // find a (1, p0, o) edge the graph doesn't have
+  }
+  GraphDatabase noop = db.WithTriplesRemoved({&absent, 1});
+  EXPECT_EQ(noop.generation(), db.generation());
+  std::stringstream noop_bytes;
+  BinaryIo::Save(noop, noop_bytes);
+  EXPECT_EQ(noop_bytes.str(), original.str());
+}
+
 TEST(BinaryIoTest, RejectsGarbage) {
   std::stringstream buffer("not a database at all");
   auto loaded = BinaryIo::Load(buffer);

@@ -29,6 +29,18 @@
 //   --repeat K          submit the whole file K times (default 1); repeats
 //                       exercise dedup + the solution cache
 //   --db FILE           read the database from binary SQSIMDB1 format
+//   --subscribe         register every query as a *standing query* instead
+//                       of submitting it once: each publication re-converges
+//                       the stored solution incrementally (sim::StandingQuery)
+//                       and emits a report per subscription per generation
+//   --deltas FILE       update stream for --subscribe: lines
+//                         + <subject> <predicate> <object>
+//                         - <subject> <predicate> <object>
+//                       with whitespace-separated dictionary names ('#'
+//                       comments); a blank line applies the accumulated
+//                       batch (deletes first, then inserts). Names not in
+//                       the database's dictionaries warn and are skipped
+//                       (the node/predicate universe is pinned).
 //
 // A query block may be tagged with a line that is exactly `!high` or
 // `!low`: that block admits under the tagged class, overriding --priority.
@@ -47,6 +59,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -71,7 +84,8 @@ int Usage() {
       "                       [--kernel auto|dense|compressed]\n"
       "                       [--shards N] [--deadline-ms N]\n"
       "                       [--priority high|low]\n"
-      "                       [--repeat K] [--db file.gdb] [data.nt] "
+      "                       [--repeat K] [--db file.gdb]\n"
+      "                       [--subscribe [--deltas updates.txt]] [data.nt] "
       "<queries.rq>\n"
       "       query file: one query per blank-line-separated block, "
       "'#' comments,\n"
@@ -141,6 +155,120 @@ bool LoadQueries(const char* path,
   return true;
 }
 
+/// The --subscribe flow: every query becomes a standing query; the delta
+/// stream (if any) drives publications; each batch prints one report line
+/// per subscription. Returns the process exit code.
+int RunSubscribe(sim::QueryService& service,
+                 const std::vector<sparql::Query>& queries,
+                 const char* deltas_path) {
+  std::vector<std::shared_ptr<sim::QueryService::Subscription>> subs;
+  subs.reserve(queries.size());
+  for (const sparql::Query& q : queries) subs.push_back(service.Subscribe(q));
+
+  auto print_reports = [&](const char* tag) {
+    for (size_t s = 0; s < subs.size(); ++s) {
+      for (const sim::PruneReport& r : subs[s]->TakeReports()) {
+        const sim::StandingStats st = subs[s]->stats();
+        std::printf("%s q%03zu gen=%llu kept=%zu vars=%zu "
+                    "(maintained %zu, recomputed %zu)%s\n",
+                    tag, s,
+                    static_cast<unsigned long long>(r.snapshot_generation),
+                    r.kept_triples.size(), r.var_candidates.size(),
+                    st.maintained, st.recomputed,
+                    r.kept_triples.empty() ? "  [empty]" : "");
+      }
+    }
+  };
+  print_reports("cold ");
+
+  if (deltas_path != nullptr) {
+    std::ifstream in(deltas_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open delta file %s\n", deltas_path);
+      return 1;
+    }
+    // Pin the registration snapshot for its dictionaries (shared,
+    // unchanged across versions — the universe is pinned).
+    const std::shared_ptr<const graph::GraphDatabase> dict_snapshot =
+        service.CurrentSnapshot();
+    const graph::GraphDatabase& dict_db = *dict_snapshot;
+    std::vector<graph::Triple> inserts, deletes;
+    size_t batch = 0, line_no = 0, skipped = 0;
+    auto apply = [&] {
+      if (inserts.empty() && deletes.empty()) return;
+      // Deletes first: a batch that moves a triple is a replace, not a
+      // transient duplicate.
+      if (!deletes.empty()) service.DeleteTriples(deletes);
+      if (!inserts.empty()) service.IngestTriples(inserts);
+      std::printf("batch %zu: -%zu/+%zu -> gen %llu\n", batch,
+                  deletes.size(), inserts.size(),
+                  static_cast<unsigned long long>(
+                      service.CurrentGeneration()));
+      print_reports("  ");
+      deletes.clear();
+      inserts.clear();
+      ++batch;
+    };
+    std::string line;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] == '#') continue;
+      std::istringstream tokens(line);
+      std::string op, s, p, o;
+      if (!(tokens >> op)) {
+        apply();  // blank line: apply the accumulated batch
+        continue;
+      }
+      if ((op != "+" && op != "-") || !(tokens >> s >> p >> o)) {
+        std::fprintf(stderr, "%s:%zu: expected '+|- subj pred obj'\n",
+                     deltas_path, line_no);
+        return 1;
+      }
+      // Dictionaries intern IRIs without the angle brackets; accept both
+      // spellings so delta files can mirror query syntax.
+      auto strip = [](std::string name) {
+        if (name.size() >= 2 && name.front() == '<' && name.back() == '>') {
+          return name.substr(1, name.size() - 2);
+        }
+        return name;
+      };
+      auto subject = dict_db.nodes().Lookup(strip(s));
+      auto predicate = dict_db.predicates().Lookup(strip(p));
+      auto object = dict_db.nodes().Lookup(strip(o));
+      if (!subject || !predicate || !object) {
+        std::fprintf(stderr,
+                     "%s:%zu: unknown name (universe is pinned), skipping\n",
+                     deltas_path, line_no);
+        ++skipped;
+        continue;
+      }
+      graph::Triple t{*subject, *predicate, *object};
+      (op == "+" ? inserts : deletes).push_back(t);
+    }
+    apply();  // trailing batch without a final blank line
+    if (skipped > 0) {
+      std::fprintf(stderr, "skipped %zu delta lines with unknown names\n",
+                   skipped);
+    }
+  }
+
+  const sim::QueryService::Stats stats = service.stats();
+  std::printf("\nsubscriptions: %zu live, %zu reports delivered, "
+              "%zu publications\n",
+              stats.subscriptions, stats.subscription_reports,
+              stats.snapshots_published);
+  for (size_t s = 0; s < subs.size(); ++s) {
+    const sim::StandingStats st = subs[s]->stats();
+    std::printf("q%03zu: %zu applies (%zu no-op), %zu maintained / %zu "
+                "recomputed / %zu untouched branches, %zu/%zu ineqs armed, "
+                "%zu carried entries, %.4fs maintaining\n",
+                s, st.applies, st.noop_applies, st.maintained, st.recomputed,
+                st.untouched_branches, st.armed_ineqs, st.total_ineqs,
+                st.carried_entries, st.maintain_seconds);
+  }
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   sim::QueryServiceOptions options;
   options.num_workers = 0;  // all hardware threads
@@ -148,6 +276,8 @@ int Run(int argc, char** argv) {
   size_t deadline_ms = 0;  // 0 = no deadline
   auto default_priority = util::AdmissionGate::Priority::kHigh;
   const char* db_path = nullptr;
+  bool subscribe = false;
+  const char* deltas_path = nullptr;
   std::vector<const char*> args;
 
   auto parse_size = [](const char* text, size_t* out) {
@@ -221,6 +351,15 @@ int Run(int argc, char** argv) {
       db_path = value;
       continue;
     }
+    if (!flag_value(i, "--deltas", &value)) return Usage();
+    if (value != nullptr) {
+      deltas_path = value;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--subscribe") == 0) {
+      subscribe = true;
+      continue;
+    }
     if (std::strcmp(argv[i], "--cache") == 0) {
       options.solver.cache_sois = options.solver.cache_solutions = true;
       continue;
@@ -274,7 +413,13 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  if (deltas_path != nullptr && !subscribe) {
+    std::fprintf(stderr, "--deltas requires --subscribe\n");
+    return Usage();
+  }
+
   sim::QueryService service(&*db, std::move(options));
+  if (subscribe) return RunSubscribe(service, queries, deltas_path);
   const size_t total = queries.size() * repeat;
   std::fprintf(stderr, "submitting %zu queries (%zu x %zu) ...\n", total,
                queries.size(), repeat);
