@@ -57,7 +57,12 @@ inline std::optional<graph::GraphDatabase> LoadDbOverride(int argc,
   }
   if (path == nullptr) return std::nullopt;
   std::fprintf(stderr, "[bench] loading database %s ...\n", path);
-  auto loaded = graph::BinaryIo::LoadFile(path);
+  // SQSIMDB2 files open lazily; SPARQLSIM_RESIDENT_MB bounds their
+  // resident matrix bytes (0/unset = unbounded), mirroring the tools.
+  graph::BinaryIo::LoadOptions load_options;
+  load_options.resident_budget_bytes =
+      EnvSize("SPARQLSIM_RESIDENT_MB", 0) << 20;
+  auto loaded = graph::BinaryIo::LoadFile(path, load_options);
   if (!loaded.ok()) {
     std::fprintf(stderr, "[bench] cannot load %s: %s\n", path,
                  loaded.error_message().c_str());

@@ -1,19 +1,39 @@
 #include "graph/binary_io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <future>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <span>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "util/gap_codec.h"
+#include "util/thread_pool.h"
 
 namespace sparqlsim::graph {
 
 namespace {
 
-// 7-byte format tag + 1-byte version; see docs/DATASETS.md for the spec
-// and the versioning policy.
+// 7-byte format tag + 1-byte version; see docs/DATASETS.md for the specs
+// and the versioning policy. Save() writes v1, SaveV2() writes v2, Load*
+// dispatches on the version byte.
 constexpr char kMagic[8] = {'S', 'Q', 'S', 'I', 'M', 'D', 'B', '1'};
-constexpr char kVersion = '1';
+constexpr char kVersion1 = '1';
+constexpr char kVersion2 = '2';
+constexpr char kFooterMagic[8] = {'S', 'Q', 'S', 'I', 'M', 'F', 'T', '2'};
+constexpr size_t kFooterBytes = 32;  // dir offset/length/checksum + magic
 
 void PutVarint(uint64_t value, std::ostream& out) {
   while (value >= 0x80) {
@@ -23,12 +43,23 @@ void PutVarint(uint64_t value, std::ostream& out) {
   out.put(static_cast<char>(value));
 }
 
+void AppendVarint(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
 bool GetVarint(std::istream& in, uint64_t* value) {
   *value = 0;
   unsigned shift = 0;
   while (true) {
     int byte = in.get();
     if (byte == EOF) return false;
+    // The final byte of a 10-byte varint may only carry bit 0: anything
+    // wider encodes a value past 2^64 (GapReader applies the same rule).
+    if (shift == 63 && (byte & 0x7E) != 0) return false;
     *value |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) return true;
     shift += 7;
@@ -59,10 +90,119 @@ bool GetString(std::istream& in, std::string* s) {
   return true;
 }
 
-}  // namespace
+uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
-void BinaryIo::Save(const GraphDatabase& db, std::ostream& out) {
-  out.write(kMagic, sizeof(kMagic));
+void PutU64Le(uint64_t value, std::ostream& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.put(static_cast<char>(value >> (8 * i)));
+  }
+}
+
+uint64_t GetU64Le(const uint8_t* bytes) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+/// Validating cursor over an in-memory (mmap-ed) byte region; the v2
+/// counterpart of the istream helpers above.
+struct ByteReader {
+  std::span<const uint8_t> data;
+  size_t pos = 0;
+
+  bool ReadVarint(uint64_t* value) {
+    *value = 0;
+    unsigned shift = 0;
+    while (true) {
+      if (pos >= data.size() || shift > 63) return false;
+      const uint8_t byte = data[pos++];
+      if (shift == 63 && (byte & 0x7E) != 0) return false;
+      *value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+  }
+
+  bool ReadString(std::string* s) {
+    uint64_t length = 0;
+    if (!ReadVarint(&length)) return false;
+    if (length > data.size() - pos) return false;
+    s->assign(reinterpret_cast<const char*>(data.data() + pos),
+              static_cast<size_t>(length));
+    pos += static_cast<size_t>(length);
+    return true;
+  }
+
+  bool ReadByte(uint8_t* byte) {
+    if (pos >= data.size()) return false;
+    *byte = data[pos++];
+    return true;
+  }
+
+  size_t remaining() const { return data.size() - pos; }
+};
+
+/// Per-predicate directory entry of a SQSIMDB2 file.
+struct V2DirEntry {
+  uint64_t offset = 0;    ///< absolute file offset of the block
+  uint64_t length = 0;    ///< block length in bytes
+  uint64_t fwd_rows = 0;  ///< non-empty rows of F_p
+  uint64_t bwd_rows = 0;  ///< non-empty rows of B_p
+  uint64_t nnz = 0;       ///< triples with this predicate
+  uint64_t checksum = 0;  ///< FNV-1a-64 of the block bytes
+};
+
+/// One compressed per-predicate block plus its directory metadata, built
+/// independently of every other block (the unit of writer parallelism).
+struct V2Block {
+  std::vector<uint8_t> bytes;
+  V2DirEntry entry;  // offset filled in by the sequential writer
+};
+
+/// Appends one matrix in v2 row form: per non-empty row, varint row delta
+/// (absolute for the first row), varint byte length, then the canonical
+/// GAP/RLE row encoding over the `n`-bit universe.
+void AppendMatrixV2(const util::BitMatrix& m, size_t n,
+                    std::vector<uint8_t>* out) {
+  uint32_t previous_row = 0;
+  std::vector<uint8_t> row_bytes;
+  for (uint32_t row : m.NonEmptyRows()) {
+    row_bytes.clear();
+    util::GapCodec::EncodeFromIndices(m.Row(row), n, &row_bytes);
+    AppendVarint(row - previous_row, out);
+    previous_row = row;
+    AppendVarint(row_bytes.size(), out);
+    out->insert(out->end(), row_bytes.begin(), row_bytes.end());
+  }
+}
+
+V2Block BuildPredicateBlock(const GraphDatabase& db, uint32_t p) {
+  V2Block block;
+  const util::BitMatrix& fwd = db.Forward(p);
+  const util::BitMatrix& bwd = db.Backward(p);
+  const size_t n = db.NumNodes();
+  block.entry.fwd_rows = fwd.NumNonEmptyRows();
+  block.entry.bwd_rows = bwd.NumNonEmptyRows();
+  block.entry.nnz = fwd.Nnz();
+  AppendMatrixV2(fwd, n, &block.bytes);
+  AppendMatrixV2(bwd, n, &block.bytes);
+  block.entry.length = block.bytes.size();
+  block.entry.checksum = Fnv1a64(block.bytes);
+  return block;
+}
+
+/// Serializes the dictionary block (shared verbatim between v1 and v2
+/// after the magic): node/predicate counts, then names + literal flags.
+void WriteDictionary(const GraphDatabase& db, std::ostream& out) {
   PutVarint(db.NumNodes(), out);
   PutVarint(db.NumPredicates(), out);
   for (uint32_t node = 0; node < db.NumNodes(); ++node) {
@@ -72,6 +212,350 @@ void BinaryIo::Save(const GraphDatabase& db, std::ostream& out) {
   for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
     PutString(db.predicates().Name(p), out);
   }
+}
+
+void WriteDirectoryAndFooter(const std::vector<V2DirEntry>& dir,
+                             uint64_t dir_offset, std::ostream& out) {
+  std::vector<uint8_t> dir_bytes;
+  for (const V2DirEntry& e : dir) {
+    AppendVarint(e.offset, &dir_bytes);
+    AppendVarint(e.length, &dir_bytes);
+    AppendVarint(e.fwd_rows, &dir_bytes);
+    AppendVarint(e.bwd_rows, &dir_bytes);
+    AppendVarint(e.nnz, &dir_bytes);
+    for (int i = 0; i < 8; ++i) {
+      dir_bytes.push_back(static_cast<uint8_t>(e.checksum >> (8 * i)));
+    }
+  }
+  out.write(reinterpret_cast<const char*>(dir_bytes.data()),
+            static_cast<std::streamsize>(dir_bytes.size()));
+  PutU64Le(dir_offset, out);
+  PutU64Le(dir_bytes.size(), out);
+  PutU64Le(Fnv1a64(dir_bytes), out);
+  out.write(kFooterMagic, sizeof(kFooterMagic));
+}
+
+/// Commits a finished tmp file to its destination via rename, so `path`
+/// either holds a complete database or is left untouched (satellite of the
+/// I/O hardening sweep: an interrupted or failed write must never leave a
+/// silently-truncated .gdb at the destination).
+util::Status CommitTempFile(std::ofstream& out, const std::string& tmp,
+                            const std::string& path) {
+  out.flush();
+  const bool good = out.good();
+  out.close();
+  if (!good) {
+    std::remove(tmp.c_str());
+    return util::Status::Error("write failure on " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::Error("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::Ok();
+}
+
+/// The mmap-backed decode-on-fault reader of SQSIMDB2 predicate blocks.
+/// Owns either a real mapping or (fallback / stream loads) a heap buffer.
+class MmapBacking : public OutOfCoreBacking {
+ public:
+  using OutOfCoreBacking::AttachSlot;  // loader wires slots up
+
+  ~MmapBacking() override {
+    if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+  }
+
+  static std::shared_ptr<MmapBacking> FromBuffer(std::string buffer) {
+    auto backing = std::make_shared<MmapBacking>();
+    backing->buffer_ = std::move(buffer);
+    return backing;
+  }
+
+  /// Maps `path` read-only; falls back to reading it into a heap buffer
+  /// when mmap is unavailable for the file.
+  static util::Result<std::shared_ptr<MmapBacking>> FromFile(
+      const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return util::Status::Error("cannot open " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+      ::close(fd);
+      return util::Status::Error("cannot stat " + path);
+    }
+    auto backing = std::make_shared<MmapBacking>();
+    const size_t len = static_cast<size_t>(st.st_size);
+    if (len > 0) {
+      void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        backing->map_base_ = base;
+        backing->map_len_ = len;
+      } else {
+        // Filesystems without mmap support: same lazy semantics over a
+        // heap copy of the file.
+        backing->buffer_.resize(len);
+        size_t done = 0;
+        while (done < len) {
+          ssize_t got = ::read(fd, backing->buffer_.data() + done,
+                               len - done);
+          if (got <= 0) {
+            ::close(fd);
+            return util::Status::Error("cannot read " + path);
+          }
+          done += static_cast<size_t>(got);
+        }
+      }
+    }
+    ::close(fd);
+    return backing;
+  }
+
+  std::span<const uint8_t> data() const {
+    if (map_base_ != nullptr) {
+      return {static_cast<const uint8_t*>(map_base_), map_len_};
+    }
+    return {reinterpret_cast<const uint8_t*>(buffer_.data()),
+            buffer_.size()};
+  }
+
+  size_t num_nodes = 0;
+  std::vector<V2DirEntry> dir;
+
+ protected:
+  util::Result<std::shared_ptr<const Slab>> DecodeSlab(
+      uint32_t p) const override {
+    const V2DirEntry& e = dir[p];
+    std::span<const uint8_t> block =
+        data().subspan(e.offset, e.length);  // bounds validated at open
+    if (Fnv1a64(block) != e.checksum) {
+      return util::Status::Error("predicate block " + std::to_string(p) +
+                                 ": checksum mismatch");
+    }
+    ByteReader reader{block};
+    std::vector<std::pair<uint32_t, uint32_t>> fwd_entries;
+    std::vector<std::pair<uint32_t, uint32_t>> bwd_entries;
+    fwd_entries.reserve(e.nnz);
+    bwd_entries.reserve(e.nnz);
+    util::Status status =
+        DecodeMatrixV2(&reader, e.fwd_rows, &fwd_entries, p);
+    if (!status.ok()) return status;
+    status = DecodeMatrixV2(&reader, e.bwd_rows, &bwd_entries, p);
+    if (!status.ok()) return status;
+    if (reader.pos != block.size()) {
+      return util::Status::Error("predicate block " + std::to_string(p) +
+                                 ": trailing bytes");
+    }
+    auto slab = std::make_shared<GraphDatabase::PredicateSlab>();
+    slab->forward = util::BitMatrix::Build(num_nodes, num_nodes,
+                                           std::move(fwd_entries));
+    slab->backward = util::BitMatrix::Build(num_nodes, num_nodes,
+                                            std::move(bwd_entries));
+    if (slab->forward.Nnz() != e.nnz || slab->backward.Nnz() != e.nnz) {
+      return util::Status::Error("predicate block " + std::to_string(p) +
+                                 ": triple count disagrees with directory");
+    }
+    slab->forward_summary = slab->forward.RowSummary();
+    slab->backward_summary = slab->backward.RowSummary();
+    slab->subject_count = slab->forward_summary.Count();
+    slab->object_count = slab->backward_summary.Count();
+    slab->empty_forward_cols = num_nodes - slab->object_count;
+    slab->empty_backward_cols = num_nodes - slab->subject_count;
+    return std::shared_ptr<const Slab>(std::move(slab));
+  }
+
+ private:
+  util::Status DecodeMatrixV2(
+      ByteReader* reader, uint64_t rows,
+      std::vector<std::pair<uint32_t, uint32_t>>* entries, uint32_t p) const {
+    const size_t n = num_nodes;
+    uint64_t row = 0;
+    std::vector<uint32_t> indices;
+    for (uint64_t i = 0; i < rows; ++i) {
+      uint64_t delta = 0, length = 0;
+      if (!reader->ReadVarint(&delta) || !reader->ReadVarint(&length)) {
+        return util::Status::Error("predicate block " + std::to_string(p) +
+                                   ": truncated row header");
+      }
+      // Rows ascend strictly, so both the delta and the accumulator stay
+      // under the universe size — no wraparound is representable.
+      if (delta >= n || (i > 0 && delta == 0)) {
+        return util::Status::Error("predicate block " + std::to_string(p) +
+                                   ": row delta out of range");
+      }
+      row += delta;
+      if (row >= n) {
+        return util::Status::Error("predicate block " + std::to_string(p) +
+                                   ": row id out of range");
+      }
+      if (length > reader->remaining()) {
+        return util::Status::Error("predicate block " + std::to_string(p) +
+                                   ": truncated row payload");
+      }
+      indices.clear();
+      if (!util::GapCodec::TryDecodeIndices(
+              reader->data.subspan(reader->pos,
+                                   static_cast<size_t>(length)),
+              n, &indices) ||
+          indices.empty()) {
+        return util::Status::Error("predicate block " + std::to_string(p) +
+                                   ": malformed row encoding");
+      }
+      reader->pos += static_cast<size_t>(length);
+      for (uint32_t col : indices) {
+        entries->emplace_back(static_cast<uint32_t>(row), col);
+      }
+    }
+    return util::Status::Ok();
+  }
+
+  void* map_base_ = nullptr;
+  size_t map_len_ = 0;
+  std::string buffer_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// V2 open path (footer -> directory -> dictionary -> lazy slots)
+// ---------------------------------------------------------------------------
+
+class BinaryIo::V2Loader {
+ public:
+  static util::Result<GraphDatabase> Open(std::shared_ptr<MmapBacking> backing,
+                                          const LoadOptions& options) {
+    std::span<const uint8_t> file = backing->data();
+    if (file.size() < sizeof(kMagic) + kFooterBytes) {
+      return util::Status::Error("truncated SQSIMDB2 file: no footer");
+    }
+    std::span<const uint8_t> footer = file.subspan(file.size() - kFooterBytes);
+    if (std::memcmp(footer.data() + 24, kFooterMagic,
+                    sizeof(kFooterMagic)) != 0) {
+      return util::Status::Error(
+          "truncated or corrupt SQSIMDB2 file: bad footer magic");
+    }
+    const uint64_t dir_offset = GetU64Le(footer.data());
+    const uint64_t dir_length = GetU64Le(footer.data() + 8);
+    const uint64_t dir_checksum = GetU64Le(footer.data() + 16);
+    const uint64_t payload_end = file.size() - kFooterBytes;
+    if (dir_offset < sizeof(kMagic) || dir_length > payload_end ||
+        dir_offset > payload_end - dir_length) {
+      return util::Status::Error(
+          "corrupt SQSIMDB2 file: directory bounds out of range");
+    }
+    std::span<const uint8_t> dir_bytes =
+        file.subspan(static_cast<size_t>(dir_offset),
+                     static_cast<size_t>(dir_length));
+    if (Fnv1a64(dir_bytes) != dir_checksum) {
+      return util::Status::Error(
+          "corrupt SQSIMDB2 file: directory checksum mismatch");
+    }
+
+    // Dictionary block, directly after the magic.
+    ByteReader dict{file.subspan(sizeof(kMagic),
+                                 static_cast<size_t>(dir_offset) -
+                                     sizeof(kMagic))};
+    uint64_t num_nodes = 0, num_predicates = 0;
+    if (!dict.ReadVarint(&num_nodes) || !dict.ReadVarint(&num_predicates)) {
+      return util::Status::Error("truncated header");
+    }
+    if (num_nodes > UINT32_MAX || num_predicates > UINT32_MAX) {
+      return util::Status::Error(
+          "corrupt header: counts exceed the 32-bit id space");
+    }
+    auto nodes = std::make_shared<Dictionary>();
+    auto predicates = std::make_shared<Dictionary>();
+    auto is_literal = std::make_shared<std::vector<bool>>();
+    is_literal->reserve(num_nodes);
+    std::string name;
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      uint8_t literal = 0;
+      if (!dict.ReadString(&name) || !dict.ReadByte(&literal)) {
+        return util::Status::Error("truncated nodes");
+      }
+      if (nodes->Intern(name) != i) {
+        return util::Status::Error("duplicate node entry");
+      }
+      is_literal->push_back(literal != 0);
+    }
+    for (uint64_t p = 0; p < num_predicates; ++p) {
+      if (!dict.ReadString(&name)) {
+        return util::Status::Error("truncated predicates");
+      }
+      if (predicates->Intern(name) != p) {
+        return util::Status::Error("duplicate predicate entry");
+      }
+    }
+    const uint64_t dict_end = sizeof(kMagic) + dict.pos;
+
+    // Per-predicate directory; every block's bounds are validated here so
+    // the fault path can index the mapping without re-checking.
+    ByteReader dr{dir_bytes};
+    backing->dir.resize(num_predicates);
+    uint64_t total_nnz = 0;
+    for (uint64_t p = 0; p < num_predicates; ++p) {
+      V2DirEntry& e = backing->dir[p];
+      if (!dr.ReadVarint(&e.offset) || !dr.ReadVarint(&e.length) ||
+          !dr.ReadVarint(&e.fwd_rows) || !dr.ReadVarint(&e.bwd_rows) ||
+          !dr.ReadVarint(&e.nnz) || dr.remaining() < 8) {
+        return util::Status::Error(
+            "corrupt SQSIMDB2 file: truncated directory");
+      }
+      e.checksum = GetU64Le(dir_bytes.data() + dr.pos);
+      dr.pos += 8;
+      if (e.offset < dict_end || e.length > dir_offset ||
+          e.offset > dir_offset - e.length) {
+        return util::Status::Error("corrupt SQSIMDB2 file: predicate block " +
+                                   std::to_string(p) + " out of bounds");
+      }
+      if (e.fwd_rows > num_nodes || e.bwd_rows > num_nodes ||
+          e.fwd_rows > e.nnz || e.bwd_rows > e.nnz ||
+          e.nnz > num_nodes * num_nodes) {
+        return util::Status::Error("corrupt SQSIMDB2 file: predicate block " +
+                                   std::to_string(p) +
+                                   " row counts out of range");
+      }
+      total_nnz += e.nnz;
+    }
+    if (dr.pos != dir_bytes.size()) {
+      return util::Status::Error(
+          "corrupt SQSIMDB2 file: trailing directory bytes");
+    }
+    backing->num_nodes = static_cast<size_t>(num_nodes);
+
+    GraphDatabase db;
+    db.nodes_ = nodes;
+    db.predicates_ = predicates;
+    db.is_literal_ = is_literal;
+    db.num_triples_ = static_cast<size_t>(total_nnz);
+    db.generation_ = GraphDatabase::NextGeneration();
+    db.backing_ = backing;
+    db.slots_.reserve(num_predicates);
+    for (uint64_t p = 0; p < num_predicates; ++p) {
+      auto slot = std::make_shared<GraphDatabase::PredicateSlot>();
+      slot->backing = backing;
+      slot->predicate = static_cast<uint32_t>(p);
+      slot->nnz = static_cast<size_t>(backing->dir[p].nnz);
+      backing->AttachSlot(static_cast<uint32_t>(p), slot);
+      db.slots_.push_back(std::move(slot));
+    }
+
+    if (options.eager) {
+      util::Status status = db.MaterializeAllAndDetach();
+      if (!status.ok()) return status;
+    } else if (options.resident_budget_bytes > 0) {
+      backing->SetBudgetBytes(options.resident_budget_bytes);
+    }
+    return db;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Save (v1), SaveV2, and the shared tmp-file + rename write path
+// ---------------------------------------------------------------------------
+
+void BinaryIo::Save(const GraphDatabase& db, std::ostream& out) {
+  ResidencyPin pin = db.PinResidency();
+  out.write(kMagic, sizeof(kMagic));
+  WriteDictionary(db, out);
   for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
     const util::BitMatrix& m = db.Forward(p);
     PutVarint(m.NumNonEmptyRows(), out);
@@ -92,27 +576,91 @@ void BinaryIo::Save(const GraphDatabase& db, std::ostream& out) {
 
 util::Status BinaryIo::SaveFile(const GraphDatabase& db,
                                 const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return util::Status::Error("cannot write " + path);
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::Error("cannot write " + tmp);
   Save(db, out);
-  return out.good() ? util::Status::Ok()
-                    : util::Status::Error("write failure on " + path);
+  return CommitTempFile(out, tmp, path);
 }
 
-util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (in.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0) {
-    return util::Status::Error(
-        "not a sparqlsim binary database (bad magic; expected a file "
-        "written by BinaryIo::Save / sparqlsim_ingest)");
+void BinaryIo::SaveV2(const GraphDatabase& db, std::ostream& out) {
+  ResidencyPin pin = db.PinResidency();
+  std::ostringstream dict;
+  WriteDictionary(db, dict);
+  const std::string dict_bytes = dict.str();
+  out.write(kMagic, sizeof(kMagic) - 1);
+  out.put(kVersion2);
+  out.write(dict_bytes.data(),
+            static_cast<std::streamsize>(dict_bytes.size()));
+  uint64_t offset = sizeof(kMagic) + dict_bytes.size();
+  std::vector<V2DirEntry> dir(db.NumPredicates());
+  for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
+    V2Block block = BuildPredicateBlock(db, p);
+    block.entry.offset = offset;
+    offset += block.entry.length;
+    dir[p] = block.entry;
+    out.write(reinterpret_cast<const char*>(block.bytes.data()),
+              static_cast<std::streamsize>(block.bytes.size()));
   }
-  if (magic[7] != kVersion) {
-    return util::Status::Error(
-        std::string("unsupported sparqlsim database version '") + magic[7] +
-        "' (this build reads version '1')");
+  WriteDirectoryAndFooter(dir, offset, out);
+}
+
+util::Status BinaryIo::SaveV2File(const GraphDatabase& db,
+                                  const std::string& path, size_t threads) {
+  ResidencyPin pin = db.PinResidency();
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) return util::Status::Error("cannot write " + tmp);
+
+  std::ostringstream dict;
+  WriteDictionary(db, dict);
+  const std::string dict_bytes = dict.str();
+  out.write(kMagic, sizeof(kMagic) - 1);
+  out.put(kVersion2);
+  out.write(dict_bytes.data(),
+            static_cast<std::streamsize>(dict_bytes.size()));
+
+  // Producer queue: workers compress per-predicate blocks ahead of the
+  // file cursor while this thread writes finished blocks in predicate
+  // order — compression and chunk I/O pipeline instead of alternating.
+  // Bytes are identical for every thread count: block content is a pure
+  // function of (db, p) and the write order is fixed.
+  util::ThreadPool pool(util::ThreadPool::ResolveThreadCount(threads));
+  const size_t window = 2 * pool.NumThreads() + 2;
+  std::deque<std::future<V2Block>> inflight;
+  uint64_t offset = sizeof(kMagic) + dict_bytes.size();
+  std::vector<V2DirEntry> dir(db.NumPredicates());
+  uint32_t next_write = 0;
+  auto drain_one = [&] {
+    V2Block block = inflight.front().get();
+    inflight.pop_front();
+    block.entry.offset = offset;
+    offset += block.entry.length;
+    dir[next_write++] = block.entry;
+    out.write(reinterpret_cast<const char*>(block.bytes.data()),
+              static_cast<std::streamsize>(block.bytes.size()));
+  };
+  for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
+    while (inflight.size() >= window) drain_one();
+    auto promise = std::make_shared<std::promise<V2Block>>();
+    inflight.push_back(promise->get_future());
+    pool.Submit([&db, p, promise] {
+      promise->set_value(BuildPredicateBlock(db, p));
+    });
   }
+  while (!inflight.empty()) drain_one();
+
+  WriteDirectoryAndFooter(dir, offset, out);
+  return CommitTempFile(out, tmp, path);
+}
+
+// ---------------------------------------------------------------------------
+// Load (version dispatch), v1 body, file open
+// ---------------------------------------------------------------------------
+
+namespace {
+
+util::Result<GraphDatabase> LoadV1Body(std::istream& in) {
   uint64_t num_nodes = 0, num_predicates = 0;
   if (!GetVarint(in, &num_nodes) || !GetVarint(in, &num_predicates)) {
     return util::Status::Error("truncated header");
@@ -146,22 +694,48 @@ util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
     if (!GetVarint(in, &num_rows)) {
       return util::Status::Error("truncated matrix header");
     }
+    if (num_rows > num_nodes) {
+      return util::Status::Error(
+          "corrupt matrix header: row count exceeds the node universe");
+    }
     uint64_t row = 0;
     for (uint64_t r = 0; r < num_rows; ++r) {
       uint64_t row_delta = 0, degree = 0;
       if (!GetVarint(in, &row_delta) || !GetVarint(in, &degree)) {
         return util::Status::Error("truncated row");
       }
+      // Rows ascend strictly within the universe, so any valid delta is
+      // below num_nodes. Rejecting the delta *before* the addition keeps
+      // the accumulator from wrapping: a ~2^64 varint delta would
+      // otherwise overflow `row`/`col` back under num_nodes, pass the
+      // range check, and intern a garbage triple via the uint32_t cast.
+      if (row_delta >= num_nodes || (r > 0 && row_delta == 0)) {
+        return util::Status::Error(
+            "corrupt matrix payload: row delta out of range");
+      }
       row += row_delta;
+      if (row >= num_nodes) {
+        return util::Status::Error(
+            "corrupt matrix payload: row id out of range");
+      }
+      if (degree > num_nodes) {
+        return util::Status::Error(
+            "corrupt matrix payload: row degree exceeds the node universe");
+      }
       uint64_t col = 0;
       for (uint64_t c = 0; c < degree; ++c) {
         uint64_t col_delta = 0;
         if (!GetVarint(in, &col_delta)) {
           return util::Status::Error("truncated columns");
         }
+        if (col_delta >= num_nodes || (c > 0 && col_delta == 0)) {
+          return util::Status::Error(
+              "corrupt matrix payload: column delta out of range");
+        }
         col += col_delta;
-        if (row >= num_nodes || col >= num_nodes) {
-          return util::Status::Error("triple id out of range");
+        if (col >= num_nodes) {
+          return util::Status::Error(
+              "corrupt matrix payload: column id out of range");
         }
         util::Status status =
             builder.AddTripleIds(static_cast<uint32_t>(row), p,
@@ -173,10 +747,64 @@ util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
   return std::move(builder).Build();
 }
 
-util::Result<GraphDatabase> BinaryIo::LoadFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return util::Status::Error("cannot open " + path);
-  return Load(in);
+}  // namespace
+
+util::Result<GraphDatabase> BinaryIo::Load(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0) {
+    return util::Status::Error(
+        "not a sparqlsim binary database (bad magic; expected a file "
+        "written by BinaryIo::Save / sparqlsim_ingest)");
+  }
+  if (magic[7] == kVersion1) return LoadV1Body(in);
+  if (magic[7] == kVersion2) {
+    // Stream loads are necessarily eager: slurp the remainder and decode
+    // through the same validated in-memory path as the mmap reader.
+    std::string buffer(magic, sizeof(magic));
+    char block[1 << 16];
+    while (in.read(block, sizeof(block)) || in.gcount() > 0) {
+      buffer.append(block, static_cast<size_t>(in.gcount()));
+    }
+    LoadOptions options;
+    options.eager = true;
+    return V2Loader::Open(MmapBacking::FromBuffer(std::move(buffer)),
+                          options);
+  }
+  return util::Status::Error(
+      std::string("unsupported sparqlsim database version '") + magic[7] +
+      "' (this build reads versions '1' and '2')");
+}
+
+util::Result<GraphDatabase> BinaryIo::LoadFile(const std::string& path,
+                                               const LoadOptions& options) {
+  char magic[8] = {0};
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return util::Status::Error("cannot open " + path);
+    probe.read(magic, sizeof(magic));
+    if (probe.gcount() == sizeof(magic) && magic[7] == kVersion1 &&
+        std::memcmp(magic, kMagic, sizeof(kMagic) - 1) == 0) {
+      probe.seekg(0);
+      return Load(probe);
+    }
+  }
+  // Not a v1 file: open through the mapping path, which re-validates the
+  // magic and dispatches corrupt/foreign files to the same errors Load()
+  // produces.
+  if (std::memcmp(magic, kMagic, sizeof(kMagic) - 1) != 0) {
+    std::ifstream in(path, std::ios::binary);
+    return Load(in);
+  }
+  if (magic[7] != kVersion2) {
+    return util::Status::Error(
+        std::string("unsupported sparqlsim database version '") + magic[7] +
+        "' (this build reads versions '1' and '2')");
+  }
+  auto backing = MmapBacking::FromFile(path);
+  if (!backing.ok()) return backing.status();
+  return V2Loader::Open(std::move(backing).value(), options);
 }
 
 }  // namespace sparqlsim::graph

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -9,32 +10,74 @@
 namespace sparqlsim::graph {
 
 /// Compact binary serialization of a graph database — the at-rest format
-/// in the spirit of the BitMat storage the paper connects to (Sect. 3.3):
-/// dictionaries plus, per predicate, the forward adjacency rows with
-/// delta-varint-encoded column indices (the CSR analogue of gap-length
-/// encoded bit rows). Loading is typically ~5x faster than re-parsing
-/// N-Triples and reproduces identical node/predicate ids, which is what
-/// lets `sparqlsim_ingest` pre-convert real dumps once and every bench
-/// load them via `--db`.
+/// in the spirit of the BitMat storage the paper connects to (Sect. 3.3).
 ///
-/// The byte-level layout (magic "SQSIMDB" + version byte, LEB128
-/// varints, delta coding) and the versioning policy are specified in
-/// docs/DATASETS.md ("Binary format SQSIMDB1").
+/// Two format versions coexist (the version byte after the shared
+/// "SQSIMDB" magic dispatches; both specified byte-for-byte in
+/// docs/DATASETS.md):
+///
+///  * SQSIMDB1 — dictionaries plus, per predicate, the forward adjacency
+///    rows with delta-varint-encoded column indices. Always loaded eagerly.
+///  * SQSIMDB2 — footer-indexed: dictionary block, then one independently
+///    addressable, checksummed block per predicate holding the forward AND
+///    backward matrices as GAP/RLE-compressed rows (util::GapCodec), with
+///    a per-predicate directory of offsets/lengths/row counts/checksums.
+///    mmap-able: LoadFile maps the file and materializes a predicate's
+///    BitMatrix slabs on first touch (GraphDatabase's backing seam),
+///    evictable under a resident-byte budget.
+///
+/// Loading either version reproduces identical node/predicate ids, which
+/// is what lets `sparqlsim_ingest` pre-convert real dumps once and every
+/// bench load them via `--db`.
 class BinaryIo {
  public:
-  /// Writes `db` to `out`. The encoding is a pure function of the
-  /// database content, so equal databases serialize byte-identically.
+  /// How LoadFile opens a version-2 file (version-1 files are always
+  /// eager; these options are ignored for them).
+  struct LoadOptions {
+    /// Materialize every predicate at open and drop the backing — the
+    /// database then behaves exactly like a v1 load (no pins, no budget).
+    bool eager = false;
+    /// Resident-byte budget for lazy opens; 0 = unbounded.
+    size_t resident_budget_bytes = 0;
+  };
+
+  /// Writes `db` to `out` in format version 1. The encoding is a pure
+  /// function of the database content, so equal databases serialize
+  /// byte-identically.
   static void Save(const GraphDatabase& db, std::ostream& out);
-  /// Writes `db` to `path`, reporting I/O failures as a Status.
+  /// Writes `db` to `path` in format version 1 (tmp file + atomic rename:
+  /// the destination either holds the complete database or is untouched).
   static util::Status SaveFile(const GraphDatabase& db,
                                const std::string& path);
 
-  /// Reads a database. Rejects foreign files (bad magic), files written
-  /// by a newer format version, and truncated/corrupt streams with a
-  /// descriptive error — it never relies on stream state or throws.
+  /// Writes `db` to `out` in format version 2 (SQSIMDB2). Also a pure
+  /// function of the database content — the thread count of the overlapped
+  /// file writer never changes the bytes.
+  static void SaveV2(const GraphDatabase& db, std::ostream& out);
+  /// Writes `db` to `path` in format version 2, overlapping per-predicate
+  /// block compression (on `threads` workers; 0 = hardware concurrency)
+  /// with sequential file writes, tmp file + atomic rename as SaveFile.
+  static util::Status SaveV2File(const GraphDatabase& db,
+                                 const std::string& path, size_t threads = 0);
+
+  /// Reads a database of either version from a stream (necessarily eager —
+  /// there is no file to keep mapped). Rejects foreign files (bad magic),
+  /// files written by a newer format version, and truncated/corrupt
+  /// streams with a descriptive error — it never relies on stream state or
+  /// throws.
   static util::Result<GraphDatabase> Load(std::istream& in);
-  /// Reads a database from `path`.
-  static util::Result<GraphDatabase> LoadFile(const std::string& path);
+  /// Reads a database from `path`. Version-2 files are mmap-ed and loaded
+  /// lazily per predicate unless `options.eager` is set.
+  static util::Result<GraphDatabase> LoadFile(const std::string& path,
+                                              const LoadOptions& options);
+  static util::Result<GraphDatabase> LoadFile(const std::string& path) {
+    return LoadFile(path, LoadOptions());
+  }
+
+ private:
+  /// SQSIMDB2 open path (footer/directory validation, lazy slot assembly);
+  /// nested so it shares BinaryIo's friend access to GraphDatabase.
+  class V2Loader;
 };
 
 }  // namespace sparqlsim::graph

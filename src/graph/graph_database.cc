@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -76,6 +78,185 @@ GraphDatabase GraphDatabaseBuilder::Build() && {
   return db;
 }
 
+// ---------------------------------------------------------------------------
+// PredicateSlot: decode-on-fault behind the COW slot pointer
+// ---------------------------------------------------------------------------
+
+const GraphDatabase::PredicateSlab& GraphDatabase::PredicateSlot::Fault()
+    const {
+  util::Status status = TryFault();
+  if (!status.ok()) {
+    // Get() has no error channel (it hands out references on the solver's
+    // hot path), and open-time validation makes decode failure here mean
+    // the file changed underneath the mapping — not recoverable.
+    std::fprintf(stderr,
+                 "sparqlsim: fatal: lazy materialization of predicate %u "
+                 "failed: %s\n",
+                 predicate, status.message().c_str());
+    std::abort();
+  }
+  return *resident.load(std::memory_order_acquire);
+}
+
+util::Status GraphDatabase::PredicateSlot::TryFault() const {
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (slab == nullptr) {
+      auto decoded = backing->DecodeSlab(predicate);
+      if (!decoded.ok()) return decoded.status();
+      slab = std::move(decoded).value();
+      bytes = OutOfCoreBacking::SlabBytes(*slab);
+      resident.store(slab.get(), std::memory_order_release);
+    }
+  }
+  // Counter/budget bookkeeping happens outside the slot lock (the backing
+  // mutex is always taken without a slot lock held; eviction takes them in
+  // the opposite order). A slab decoded but not yet noted is invisible to
+  // the eviction FIFO, which is safe: it just cannot be evicted yet.
+  if (bytes != 0) backing->NoteMaterialized(predicate, bytes);
+  return util::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// OutOfCoreBacking: counters, FIFO eviction, pin accounting
+// ---------------------------------------------------------------------------
+
+ResidencyPin::ResidencyPin(std::shared_ptr<OutOfCoreBacking> backing)
+    : backing_(std::move(backing)) {
+  if (backing_) backing_->Pin();
+}
+
+ResidencyPin::~ResidencyPin() {
+  if (backing_) backing_->Unpin();
+}
+
+ResidencyPin& ResidencyPin::operator=(ResidencyPin&& other) noexcept {
+  if (this != &other) {
+    if (backing_) backing_->Unpin();
+    backing_ = std::move(other.backing_);
+  }
+  return *this;
+}
+
+size_t OutOfCoreBacking::SlabBytes(const Slab& slab) {
+  return slab.forward.ApproxBytes() + slab.backward.ApproxBytes() +
+         slab.forward_summary.size() / 4;  // two summary vectors, n/8 each
+}
+
+void OutOfCoreBacking::AttachSlot(
+    uint32_t p, std::weak_ptr<const GraphDatabase::PredicateSlot> slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_.size() <= p) slots_.resize(p + 1);
+  slots_[p] = std::move(slot);
+}
+
+BackingStats OutOfCoreBacking::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BackingStats s;
+  s.predicates = slots_.size();
+  s.resident = resident_count_;
+  s.materializations = materializations_;
+  s.evictions = evictions_;
+  s.resident_bytes = resident_bytes_;
+  s.budget_bytes = budget_bytes_;
+  return s;
+}
+
+void OutOfCoreBacking::SetBudgetBytes(size_t bytes) {
+  std::vector<std::shared_ptr<const Slab>> freed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    budget_bytes_ = bytes;
+    if (budget_bytes_ == 0) return;
+    if (pins_ > 0) {
+      enforcement_deferred_ = true;
+    } else {
+      EnforceBudgetLocked(UINT32_MAX, &freed);
+    }
+  }
+}
+
+void OutOfCoreBacking::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_;
+}
+
+void OutOfCoreBacking::Unpin() {
+  std::vector<std::shared_ptr<const Slab>> freed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pins_;
+    if (pins_ == 0 && enforcement_deferred_ && budget_bytes_ != 0) {
+      enforcement_deferred_ = false;
+      EnforceBudgetLocked(UINT32_MAX, &freed);
+    }
+  }
+}
+
+size_t OutOfCoreBacking::EvictAll() {
+  std::vector<std::shared_ptr<const Slab>> freed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pins_ > 0) return 0;  // in-flight readers keep their slabs
+    size_t saved_budget = budget_bytes_;
+    budget_bytes_ = 1;  // evict down to (effectively) nothing
+    EnforceBudgetLocked(UINT32_MAX, &freed);
+    budget_bytes_ = saved_budget;
+  }
+  return freed.size();
+}
+
+void OutOfCoreBacking::NoteMaterialized(uint32_t p, size_t bytes) {
+  std::vector<std::shared_ptr<const Slab>> freed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++materializations_;
+    ++resident_count_;
+    resident_bytes_ += bytes;
+    fifo_.emplace_back(p, bytes);
+    if (budget_bytes_ != 0 && resident_bytes_ > budget_bytes_) {
+      if (pins_ > 0) {
+        enforcement_deferred_ = true;
+      } else {
+        EnforceBudgetLocked(p, &freed);
+      }
+    }
+  }
+  // Freed slabs are released outside mu_ so their (possibly large)
+  // destructors never run under the backing lock.
+}
+
+void OutOfCoreBacking::EnforceBudgetLocked(
+    uint32_t keep_predicate, std::vector<std::shared_ptr<const Slab>>* freed) {
+  size_t scan = 0;
+  while (resident_bytes_ > budget_bytes_ && scan < fifo_.size()) {
+    auto [p, bytes] = fifo_[scan];
+    if (p == keep_predicate) {
+      ++scan;  // never evict the slab that triggered enforcement
+      continue;
+    }
+    fifo_.erase(fifo_.begin() + static_cast<ptrdiff_t>(scan));
+    resident_bytes_ -= bytes < resident_bytes_ ? bytes : resident_bytes_;
+    if (resident_count_ > 0) --resident_count_;
+    std::shared_ptr<const GraphDatabase::PredicateSlot> slot =
+        p < slots_.size() ? slots_[p].lock() : nullptr;
+    if (slot != nullptr) {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      slot->resident.store(nullptr, std::memory_order_release);
+      if (slot->slab) freed->push_back(std::move(slot->slab));
+      slot->slab.reset();
+      ++evictions_;
+    }
+    // An expired slot means its databases died: the slab is already gone,
+    // so only the accounting had to catch up.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphDatabase
+// ---------------------------------------------------------------------------
+
 uint64_t GraphDatabase::NextGeneration() {
   static std::atomic<uint64_t> next_generation{0};
   return next_generation.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -96,6 +277,15 @@ std::shared_ptr<const GraphDatabase::PredicateSlab> GraphDatabase::BuildSlab(
   slab->empty_forward_cols = n - slab->object_count;
   slab->empty_backward_cols = n - slab->subject_count;
   return slab;
+}
+
+std::shared_ptr<const GraphDatabase::PredicateSlot>
+GraphDatabase::MakeEagerSlot(std::shared_ptr<const PredicateSlab> slab) {
+  auto slot = std::make_shared<PredicateSlot>();
+  slot->nnz = slab->forward.Nnz();
+  slot->slab = std::move(slab);
+  slot->resident.store(slot->slab.get(), std::memory_order_release);
+  return slot;
 }
 
 bool GraphDatabase::SlabMatches(
@@ -132,42 +322,46 @@ void GraphDatabase::BuildMatrices(std::vector<Triple>&& triples) {
   triples.clear();
   triples.shrink_to_fit();
 
-  slabs_.clear();
-  slabs_.reserve(num_predicates);
+  slots_.clear();
+  slots_.reserve(num_predicates);
   num_triples_ = 0;
   for (size_t p = 0; p < num_predicates; ++p) {
-    slabs_.push_back(BuildSlab(n, std::move(per_predicate[p])));
-    num_triples_ += slabs_.back()->forward.Nnz();
+    slots_.push_back(MakeEagerSlot(BuildSlab(n, std::move(per_predicate[p]))));
+    num_triples_ += slots_.back()->nnz;
   }
 }
 
 GraphDatabase GraphDatabase::RebuildChanged(
     std::vector<std::vector<std::pair<uint32_t, uint32_t>>>&& per_predicate,
     const std::vector<bool>* touched) const {
+  ResidencyPin pin = PinResidency();
   const size_t n = NumNodes();
   GraphDatabase db;
   db.nodes_ = nodes_;
   db.predicates_ = predicates_;
   db.is_literal_ = is_literal_;
-  db.slabs_.reserve(slabs_.size());
+  db.backing_ = backing_;  // shared lazy slots keep their fault path
+  db.slots_.reserve(slots_.size());
   db.num_triples_ = 0;
   bool any_changed = false;
-  for (size_t p = 0; p < slabs_.size(); ++p) {
+  for (size_t p = 0; p < slots_.size(); ++p) {
     if (touched != nullptr && !(*touched)[p]) {
-      db.slabs_.push_back(slabs_[p]);
-      db.num_triples_ += slabs_[p]->forward.Nnz();
+      // COW: an untouched predicate shares its slot — and, in the
+      // out-of-core tier, stays unmaterialized if it was.
+      db.slots_.push_back(slots_[p]);
+      db.num_triples_ += slots_[p]->nnz;
       continue;
     }
     auto& entries = per_predicate[p];
     std::sort(entries.begin(), entries.end());
     entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
-    if (SlabMatches(*slabs_[p], entries)) {
-      db.slabs_.push_back(slabs_[p]);  // COW: share the unchanged slab
+    if (SlabMatches(slots_[p]->Get(), entries)) {
+      db.slots_.push_back(slots_[p]);  // COW: share the unchanged slot
     } else {
-      db.slabs_.push_back(BuildSlab(n, std::move(entries)));
+      db.slots_.push_back(MakeEagerSlot(BuildSlab(n, std::move(entries))));
       any_changed = true;
     }
-    db.num_triples_ += db.slabs_.back()->forward.Nnz();
+    db.num_triples_ += db.slots_.back()->nnz;
   }
   // A content-identical sibling keeps the generation: caches stay warm and
   // snapshot bookkeeping treats the two as one version.
@@ -175,7 +369,25 @@ GraphDatabase GraphDatabase::RebuildChanged(
   return db;
 }
 
+util::Status GraphDatabase::MaterializeAllAndDetach() {
+  if (backing_ == nullptr) return util::Status::Ok();
+  for (auto& slot : slots_) {
+    if (slot->backing == nullptr) continue;
+    util::Status status = slot->TryFault();
+    if (!status.ok()) return status;
+    std::shared_ptr<const PredicateSlab> slab;
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slab = slot->slab;
+    }
+    slot = MakeEagerSlot(std::move(slab));
+  }
+  backing_.reset();
+  return util::Status::Ok();
+}
+
 std::vector<Triple> GraphDatabase::AllTriples() const {
+  ResidencyPin pin = PinResidency();
   std::vector<Triple> result;
   result.reserve(num_triples_);
   ForEachTriple([&](const Triple& t) { result.push_back(t); });
@@ -193,6 +405,7 @@ GraphDatabase GraphDatabase::Restrict(std::span<const Triple> kept) const {
 
 GraphDatabase GraphDatabase::WithTriplesAdded(
     std::span<const Triple> added) const {
+  ResidencyPin pin = PinResidency();
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> per_predicate(
       NumPredicates());
   std::vector<bool> touched(NumPredicates(), false);
@@ -205,8 +418,7 @@ GraphDatabase GraphDatabase::WithTriplesAdded(
   // and recognizes duplicate-only additions by its lockstep compare).
   for (uint32_t p = 0; p < NumPredicates(); ++p) {
     if (!touched[p]) continue;
-    per_predicate[p].reserve(per_predicate[p].size() +
-                             slabs_[p]->forward.Nnz());
+    per_predicate[p].reserve(per_predicate[p].size() + slots_[p]->nnz);
     ForEachTriple(p, [&](uint32_t s, uint32_t o) {
       per_predicate[p].emplace_back(s, o);
     });
@@ -216,6 +428,7 @@ GraphDatabase GraphDatabase::WithTriplesAdded(
 
 GraphDatabase GraphDatabase::WithTriplesRemoved(
     std::span<const Triple> removed) const {
+  ResidencyPin pin = PinResidency();
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> gone(
       NumPredicates());
   std::vector<bool> touched(NumPredicates(), false);
@@ -234,7 +447,7 @@ GraphDatabase GraphDatabase::WithTriplesRemoved(
     auto& victims = gone[p];
     std::sort(victims.begin(), victims.end());
     victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
-    per_predicate[p].reserve(slabs_[p]->forward.Nnz());
+    per_predicate[p].reserve(slots_[p]->nnz);
     ForEachTriple(p, [&](uint32_t s, uint32_t o) {
       const std::pair<uint32_t, uint32_t> entry{s, o};
       if (!std::binary_search(victims.begin(), victims.end(), entry)) {
@@ -249,29 +462,45 @@ std::vector<uint32_t> GraphDatabase::ChangedPredicates(
     const GraphDatabase& other) const {
   std::vector<uint32_t> changed;
   for (uint32_t p = 0; p < NumPredicates(); ++p) {
-    if (slabs_[p] != other.slabs_[p]) changed.push_back(p);
+    if (slots_[p] != other.slots_[p]) changed.push_back(p);
   }
   return changed;
 }
 
 size_t GraphDatabase::ApproxMatrixBytes() const {
+  ResidencyPin pin = PinResidency();
   size_t total = 0;
-  for (const auto& slab : slabs_) {
-    total += slab->forward.ApproxBytes() + slab->backward.ApproxBytes();
+  for (const auto& slot : slots_) {
+    const PredicateSlab& slab = slot->Get();
+    total += slab.forward.ApproxBytes() + slab.backward.ApproxBytes();
   }
   return total;
 }
 
 size_t GraphDatabase::GapEncodedMatrixBytes() const {
+  ResidencyPin pin = PinResidency();
   size_t total = 0;
   size_t n = NumNodes();
-  for (const auto& slab : slabs_) {
-    const util::BitMatrix& m = slab->forward;
+  for (const auto& slot : slots_) {
+    const util::BitMatrix& m = slot->Get().forward;
     for (uint32_t r : m.NonEmptyRows()) {
       total += util::GapCodec::EncodedSizeFromIndices(m.Row(r), n);
     }
   }
   return total;
+}
+
+BackingStats GraphDatabase::backing_stats() const {
+  if (backing_ == nullptr) return BackingStats{};
+  return backing_->stats();
+}
+
+ResidencyPin GraphDatabase::PinResidency() const {
+  return ResidencyPin(backing_);
+}
+
+void GraphDatabase::SetResidentBudget(size_t bytes) const {
+  if (backing_ != nullptr) backing_->SetBudgetBytes(bytes);
 }
 
 }  // namespace sparqlsim::graph

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -15,6 +17,40 @@
 namespace sparqlsim::graph {
 
 class GraphDatabase;
+class OutOfCoreBacking;
+class BinaryIo;
+
+/// Counters of the out-of-core backing layer (see OutOfCoreBacking). All
+/// zero for a fully in-memory database. `resident`/`resident_bytes` are
+/// instantaneous; the totals are monotone over the backing's lifetime.
+struct BackingStats {
+  size_t predicates = 0;        ///< predicates with lazy at-rest backing
+  size_t resident = 0;          ///< currently materialized lazy predicates
+  size_t materializations = 0;  ///< total decode-on-fault events
+  size_t evictions = 0;         ///< slabs dropped to honor the budget
+  size_t resident_bytes = 0;    ///< approx bytes of materialized slabs
+  size_t budget_bytes = 0;      ///< 0 = unbounded residency
+};
+
+/// RAII residency pin (see GraphDatabase::PinResidency): while at least one
+/// pin is held on a database's backing, the resident-budget enforcement is
+/// deferred, so matrix references obtained under the pin stay valid until
+/// it is released. Pins on a database without backing are no-ops.
+class ResidencyPin {
+ public:
+  ResidencyPin() = default;
+  explicit ResidencyPin(std::shared_ptr<OutOfCoreBacking> backing);
+  ~ResidencyPin();
+
+  ResidencyPin(ResidencyPin&& other) noexcept
+      : backing_(std::move(other.backing_)) {}
+  ResidencyPin& operator=(ResidencyPin&& other) noexcept;
+  ResidencyPin(const ResidencyPin&) = delete;
+  ResidencyPin& operator=(const ResidencyPin&) = delete;
+
+ private:
+  std::shared_ptr<OutOfCoreBacking> backing_;
+};
 
 /// Accumulates triples and dictionary entries, then freezes them into an
 /// immutable GraphDatabase.
@@ -65,12 +101,71 @@ class GraphDatabaseBuilder {
 ///
 /// Storage is copy-on-write per predicate: all per-label state (matrix
 /// pair, summaries, cardinalities) lives in one refcounted immutable slab,
-/// and copying a GraphDatabase copies slab pointers, not matrices. That
+/// and copying a GraphDatabase copies slot pointers, not matrices. That
 /// makes Snapshot() O(predicates), and lets Restrict()/WithTriplesAdded()
 /// produce the next version of an evolving database while readers keep
 /// solving against the old one — the MVCC substrate of sim::QueryService.
+///
+/// Out-of-core tier: a database opened from a SQSIMDB2 file (BinaryIo)
+/// interposes an OutOfCoreBacking behind the slot pointers — a predicate's
+/// slab then materializes on first touch (decode-on-fault) and can be
+/// evicted again under a resident-byte budget. Snapshot(), generation(),
+/// and ChangedPredicates() semantics are unchanged: slot identity, not
+/// residency, is what versions share and compare.
 class GraphDatabase {
  public:
+  /// All per-predicate state, immutable once built and refcounted: the
+  /// unit of copy-on-write sharing between database versions, and the unit
+  /// of lazy materialization/eviction in the out-of-core tier.
+  struct PredicateSlab {
+    util::BitMatrix forward;
+    util::BitMatrix backward;
+    util::BitVector forward_summary;
+    util::BitVector backward_summary;
+    size_t subject_count = 0;
+    size_t object_count = 0;
+    size_t empty_forward_cols = 0;
+    size_t empty_backward_cols = 0;
+  };
+
+  /// One predicate's storage indirection. Eager slots (the in-memory
+  /// default) carry their slab forever; lazy slots (backing != nullptr)
+  /// decode it from the at-rest bytes on first touch and may drop it again
+  /// under budget pressure. Slot pointer identity is the COW sharing unit:
+  /// an untouched predicate shares its *slot* across database versions, so
+  /// a never-touched predicate stays unmaterialized through the whole
+  /// publish chain.
+  struct PredicateSlot {
+    std::shared_ptr<OutOfCoreBacking> backing;  ///< null = eager slot
+    uint32_t predicate = 0;  ///< directory index within the backing
+    size_t nnz = 0;          ///< triple count, known without materializing
+
+    mutable std::mutex mu;  ///< serializes fault/evict transitions
+    mutable std::shared_ptr<const PredicateSlab> slab;
+    mutable std::atomic<const PredicateSlab*> resident{nullptr};
+
+    /// The slab, decoding it on first touch. The fast path is one acquire
+    /// load. If the at-rest bytes turn out corrupt at fault time (possible
+    /// only when the file changed after open — open-time validation covers
+    /// the directory and structure), the process aborts with a diagnostic;
+    /// use TryFault() for a Status-returning materialization.
+    const PredicateSlab& Get() const {
+      const PredicateSlab* s = resident.load(std::memory_order_acquire);
+      if (s != nullptr) return *s;
+      return Fault();
+    }
+
+    /// Materializes the slab, reporting decode failures as a Status.
+    util::Status TryFault() const;
+
+    bool IsResident() const {
+      return resident.load(std::memory_order_acquire) != nullptr;
+    }
+
+   private:
+    const PredicateSlab& Fault() const;
+  };
+
   size_t NumNodes() const { return nodes_->size(); }
   size_t NumPredicates() const { return predicates_->size(); }
   size_t NumTriples() const { return num_triples_; }
@@ -86,7 +181,7 @@ class GraphDatabase {
   uint64_t generation() const { return generation_; }
 
   /// An immutable refcounted view of this database: shares the
-  /// dictionaries and every predicate slab (O(predicates) pointer copies,
+  /// dictionaries and every predicate slot (O(predicates) pointer copies,
   /// no matrix is touched) and keeps the generation. In-flight queries pin
   /// the snapshot they admitted under simply by holding the shared_ptr;
   /// publishing a successor via Restrict()/WithTriplesAdded() never
@@ -102,31 +197,32 @@ class GraphDatabase {
 
   /// Forward adjacency matrix F_p (rows: subjects, cols: objects).
   const util::BitMatrix& Forward(uint32_t p) const {
-    return slabs_[p]->forward;
+    return slots_[p]->Get().forward;
   }
   /// Backward adjacency matrix B_p = transpose of F_p.
   const util::BitMatrix& Backward(uint32_t p) const {
-    return slabs_[p]->backward;
+    return slots_[p]->Get().backward;
   }
 
   /// f^p: bit v set iff v has an outgoing p-edge (Eq. 13).
   const util::BitVector& ForwardSummary(uint32_t p) const {
-    return slabs_[p]->forward_summary;
+    return slots_[p]->Get().forward_summary;
   }
   /// b^p: bit v set iff v has an incoming p-edge (Eq. 13).
   const util::BitVector& BackwardSummary(uint32_t p) const {
-    return slabs_[p]->backward_summary;
+    return slots_[p]->Get().backward_summary;
   }
 
   /// Number of triples with predicate p (basic statistic for join ordering
-  /// and for the solver's sparsity heuristic).
-  size_t PredicateCardinality(uint32_t p) const {
-    return slabs_[p]->forward.Nnz();
-  }
+  /// and for the solver's sparsity heuristic). Slot metadata — never
+  /// materializes a lazy predicate.
+  size_t PredicateCardinality(uint32_t p) const { return slots_[p]->nnz; }
   size_t DistinctSubjects(uint32_t p) const {
-    return slabs_[p]->subject_count;
+    return slots_[p]->Get().subject_count;
   }
-  size_t DistinctObjects(uint32_t p) const { return slabs_[p]->object_count; }
+  size_t DistinctObjects(uint32_t p) const {
+    return slots_[p]->Get().object_count;
+  }
 
   /// Number of all-zero columns of F_p / B_p, precomputed at build time.
   /// The solver's order-by-sparsity heuristic (Sect. 3.3: inequalities
@@ -134,10 +230,10 @@ class GraphDatabase {
   /// instead of paying BitMatrix::CountEmptyColumns' O(nnz) ColSummary
   /// pass on every solve.
   size_t EmptyForwardColumns(uint32_t p) const {
-    return slabs_[p]->empty_forward_cols;
+    return slots_[p]->Get().empty_forward_cols;
   }
   size_t EmptyBackwardColumns(uint32_t p) const {
-    return slabs_[p]->empty_backward_cols;
+    return slots_[p]->Get().empty_backward_cols;
   }
 
   /// Calls fn(subject, object) for every triple with predicate p, in
@@ -147,7 +243,7 @@ class GraphDatabase {
   /// predicates real datasets are full of.
   template <typename Fn>
   void ForEachTriple(uint32_t p, Fn&& fn) const {
-    const util::BitMatrix& m = slabs_[p]->forward;
+    const util::BitMatrix& m = slots_[p]->Get().forward;
     const auto rows = m.NonEmptyRows();
     for (size_t slot = 0; slot < rows.size(); ++slot) {
       for (uint32_t o : m.RowBySlot(slot)) fn(rows[slot], o);
@@ -197,38 +293,55 @@ class GraphDatabase {
   /// delete/re-insert round trip.
   GraphDatabase WithTriplesRemoved(std::span<const Triple> removed) const;
 
-  /// Predicates whose slab *may* differ from `other`'s, by COW slab
+  /// Predicates whose slab *may* differ from `other`'s, by COW slot
   /// identity: along a Restrict()/WithTriplesAdded()/WithTriplesRemoved()
-  /// chain an unchanged predicate shares its slab pointer, so pointer
+  /// chain an unchanged predicate shares its slot pointer, so pointer
   /// equality proves content equality and the returned set is the exact
   /// per-predicate dirty set of the publish chain between the two
   /// versions. For databases built independently the set over-approximates
-  /// (equal content, different slabs) — safe for consumers that treat
+  /// (equal content, different slots) — safe for consumers that treat
   /// "dirty" as "must re-examine". Both databases must share the same
   /// predicate universe.
   std::vector<uint32_t> ChangedPredicates(const GraphDatabase& other) const;
 
-  /// Total CSR footprint of all adjacency matrices.
+  /// Total CSR footprint of all adjacency matrices (materializes every
+  /// lazy predicate — a whole-database statistic by definition).
   size_t ApproxMatrixBytes() const;
   /// What the footprint would be with gap-length-encoded dense rows
   /// (storage-economics report, Sect. 3.3 / 5.1).
   size_t GapEncodedMatrixBytes() const;
 
+  /// True iff this database serves some predicates lazily from an at-rest
+  /// backing (SQSIMDB2 open without --eager).
+  bool HasBacking() const { return backing_ != nullptr; }
+
+  /// Backing-layer counters; all-zero for a fully in-memory database.
+  BackingStats backing_stats() const;
+
+  /// True iff predicate p's slab is materialized right now (always true
+  /// for eager slots).
+  bool PredicateResident(uint32_t p) const {
+    return slots_[p]->IsResident();
+  }
+
+  /// Pins residency for the duration of a query: while any pin is held,
+  /// budget-driven eviction is deferred, so matrix references obtained
+  /// after pinning stay valid until the pin drops. Every solver/engine
+  /// entry point takes one; no-op (and free) for in-memory databases.
+  ResidencyPin PinResidency() const;
+
+  /// Sets the resident-byte budget on the backing (0 = unbounded).
+  /// Enforcement is FIFO over materialization order and runs at
+  /// materialization time and when the last pin drops — a single query's
+  /// working set may therefore transiently exceed the budget, and one slab
+  /// larger than the whole budget stays resident while in use. No-op for
+  /// in-memory databases.
+  void SetResidentBudget(size_t bytes) const;
+
  private:
   friend class GraphDatabaseBuilder;
-
-  /// All per-predicate state, immutable and refcounted: the unit of
-  /// copy-on-write sharing between database versions.
-  struct PredicateSlab {
-    util::BitMatrix forward;
-    util::BitMatrix backward;
-    util::BitVector forward_summary;
-    util::BitVector backward_summary;
-    size_t subject_count = 0;
-    size_t object_count = 0;
-    size_t empty_forward_cols = 0;
-    size_t empty_backward_cols = 0;
-  };
+  friend class BinaryIo;
+  friend class OutOfCoreBacking;
 
   GraphDatabase() = default;
 
@@ -239,6 +352,10 @@ class GraphDatabase {
   static std::shared_ptr<const PredicateSlab> BuildSlab(
       size_t n, std::vector<std::pair<uint32_t, uint32_t>>&& entries);
 
+  /// Wraps an already-built slab in an always-resident slot.
+  static std::shared_ptr<const PredicateSlot> MakeEagerSlot(
+      std::shared_ptr<const PredicateSlab> slab);
+
   /// True iff the slab stores exactly the sorted, deduplicated `entries`.
   static bool SlabMatches(
       const PredicateSlab& slab,
@@ -248,20 +365,108 @@ class GraphDatabase {
   static uint64_t NextGeneration();
 
   /// Shared COW tail of Restrict()/WithTriplesAdded(): assembles a sibling
-  /// database from per-predicate entry lists, sharing every slab that
+  /// database from per-predicate entry lists, sharing every slot that
   /// already stores its list and keeping the generation when all do.
   /// When `touched` is non-null, predicates it marks false share their
-  /// slab unconditionally (their entry list is ignored).
+  /// slot unconditionally (their entry list is ignored).
   GraphDatabase RebuildChanged(
       std::vector<std::vector<std::pair<uint32_t, uint32_t>>>&& per_predicate,
       const std::vector<bool>* touched) const;
+
+  /// Faults in every lazy predicate (Status on decode failure) and rewraps
+  /// the decoded slabs in eager slots, dropping the backing: the eager
+  /// open mode of SQSIMDB2 files. Only sound on a freshly loaded database
+  /// that no other version shares slots with yet.
+  util::Status MaterializeAllAndDetach();
 
   std::shared_ptr<const Dictionary> nodes_;
   std::shared_ptr<const Dictionary> predicates_;
   std::shared_ptr<const std::vector<bool>> is_literal_;
   size_t num_triples_ = 0;
   uint64_t generation_ = 0;
-  std::vector<std::shared_ptr<const PredicateSlab>> slabs_;
+  std::vector<std::shared_ptr<const PredicateSlot>> slots_;
+  std::shared_ptr<OutOfCoreBacking> backing_;
+};
+
+/// The at-rest side of the out-of-core tier: decodes one predicate's slab
+/// on demand from a (typically mmap-ed) SQSIMDB2 file, tracks residency
+/// counters, and enforces the resident-byte budget.
+///
+/// Lifecycle of a lazy slab (see docs/ARCHITECTURE.md, "Out-of-core
+/// backing"): on-disk → Get() faults → DecodeSlab() → resident (counted in
+/// resident_bytes) → budget pressure at materialization time or at
+/// last-unpin → evicted (slab freed, slot back to on-disk). Pins
+/// (GraphDatabase::PinResidency) defer eviction so in-flight queries keep
+/// their references valid.
+///
+/// Concrete backings (the mmap reader lives in binary_io.cc) implement
+/// DecodeSlab(); everything else — counters, FIFO eviction, pin
+/// accounting — is shared here.
+class OutOfCoreBacking {
+ public:
+  virtual ~OutOfCoreBacking() = default;
+
+  BackingStats stats() const;
+
+  void SetBudgetBytes(size_t bytes);
+
+  /// Pin accounting used by ResidencyPin. While pins > 0, budget
+  /// enforcement is deferred; the last Unpin() runs it.
+  void Pin();
+  void Unpin();
+
+  /// Drops every resident slab it can (pins permitting); used by tests and
+  /// the forced-eviction CI leg. Returns the number of slabs evicted.
+  size_t EvictAll();
+
+ protected:
+  using Slab = GraphDatabase::PredicateSlab;
+
+  /// Decodes predicate `p` from the at-rest bytes. Thread-safe, called
+  /// without backing locks held.
+  virtual util::Result<std::shared_ptr<const Slab>> DecodeSlab(
+      uint32_t p) const = 0;
+
+  /// Forwarder so concrete backings can assemble slabs through the one
+  /// canonical builder (summaries, counts, empty-column derivation).
+  static std::shared_ptr<const Slab> BuildSlab(
+      size_t n, std::vector<std::pair<uint32_t, uint32_t>>&& entries) {
+    return GraphDatabase::BuildSlab(n, std::move(entries));
+  }
+
+  /// Registers the slot serving predicate `p` (held weakly; the databases
+  /// own the slots). Called by the loader, once per predicate.
+  void AttachSlot(uint32_t p,
+                  std::weak_ptr<const GraphDatabase::PredicateSlot> slot);
+
+ private:
+  friend struct GraphDatabase::PredicateSlot;
+
+  /// Approximate heap bytes of a materialized slab (budget accounting).
+  static size_t SlabBytes(const Slab& slab);
+
+  /// Called by PredicateSlot::Fault after a successful decode, outside the
+  /// slot lock: updates counters, appends to the eviction FIFO, and — when
+  /// over budget with no pins held — evicts oldest-first (never the slab
+  /// just materialized).
+  void NoteMaterialized(uint32_t p, size_t bytes);
+
+  /// Must hold mu_. Evicts oldest-first until within budget; skips
+  /// `keep_predicate` (pass UINT32_MAX to allow all).
+  void EnforceBudgetLocked(uint32_t keep_predicate,
+                           std::vector<std::shared_ptr<const Slab>>* freed);
+
+  mutable std::mutex mu_;
+  std::vector<std::weak_ptr<const GraphDatabase::PredicateSlot>> slots_;
+  /// Materialization-order eviction queue: (predicate, approx bytes).
+  std::vector<std::pair<uint32_t, size_t>> fifo_;
+  size_t budget_bytes_ = 0;
+  size_t resident_count_ = 0;
+  size_t resident_bytes_ = 0;
+  size_t materializations_ = 0;
+  size_t evictions_ = 0;
+  int64_t pins_ = 0;
+  bool enforcement_deferred_ = false;
 };
 
 }  // namespace sparqlsim::graph

@@ -296,6 +296,12 @@ std::string LineError(size_t line_number, const std::string& what) {
   return msg.str();
 }
 
+std::string OversizeLineError(size_t max_line_bytes) {
+  std::ostringstream msg;
+  msg << "line exceeds the " << max_line_bytes << "-byte line limit";
+  return msg.str();
+}
+
 }  // namespace internal
 
 namespace {
@@ -370,8 +376,16 @@ util::Status NTriples::Load(std::istream& in, GraphDatabaseBuilder* builder,
 
   while (std::getline(in, line)) {
     ++local.lines;
-    internal::LineOutcome outcome =
-        internal::ParseLine(line, &statement, &error);
+    if (line.size() > local.peak_chunk_bytes) {
+      local.peak_chunk_bytes = line.size();
+    }
+    internal::LineOutcome outcome;
+    if (options.max_line_bytes > 0 && line.size() > options.max_line_bytes) {
+      outcome = internal::LineOutcome::kError;
+      error = internal::OversizeLineError(options.max_line_bytes);
+    } else {
+      outcome = internal::ParseLine(line, &statement, &error);
+    }
     if (outcome == internal::LineOutcome::kEmpty) continue;
 
     if (outcome == internal::LineOutcome::kStatement) {

@@ -26,6 +26,16 @@ struct NTriplesOptions {
   /// the value only tunes parallel grain and peak memory (roughly
   /// (num_threads + 1) * chunk_bytes), never the parsed result.
   size_t chunk_bytes = size_t{8} << 20;
+
+  /// Longest single line either loader accepts, in bytes (excluding the
+  /// newline); 0 = unlimited. A longer line is malformed: strict mode
+  /// stops with "line N: line exceeds the ...-byte line limit",
+  /// permissive mode counts and skips it — both with the line numbering
+  /// a compliant line would have had. This is what keeps LoadParallel's
+  /// chunk buffers bounded on garbage input (a multi-gigabyte file with
+  /// no newlines used to be slurped whole while hunting for the chunk
+  /// boundary); the reader discards the excess instead of buffering it.
+  size_t max_line_bytes = size_t{64} << 20;
 };
 
 /// Counters reported by the loaders; mainly interesting in permissive mode
@@ -35,6 +45,11 @@ struct NTriplesStats {
   size_t triples = 0;          ///< Triples handed to the builder.
   size_t malformed_lines = 0;  ///< Lines skipped in permissive mode.
   std::string first_error;     ///< First diagnostic ("line N: ..."), if any.
+  /// Largest single buffer the loader held: the biggest chunk read by
+  /// LoadParallel, or the longest line seen by the sequential Load. With
+  /// max_line_bytes set this stays near chunk_bytes + max_line_bytes no
+  /// matter how malformed the input is (tested).
+  size_t peak_chunk_bytes = 0;
 };
 
 /// Streaming N-Triples reader/writer.

@@ -59,4 +59,10 @@ bool IsBlankLabelChar(char c);
 /// contract), so the format lives in exactly one place.
 std::string LineError(size_t line_number, const std::string& what);
 
+/// The diagnostic body for a line longer than
+/// NTriplesOptions::max_line_bytes. Lives here for the same reason as
+/// LineError: the sequential loader, the chunk parser, and the chunk
+/// reader's truncation path must all report byte-equal messages.
+std::string OversizeLineError(size_t max_line_bytes);
+
 }  // namespace sparqlsim::graph::internal

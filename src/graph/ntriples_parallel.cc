@@ -17,6 +17,7 @@
 // this). Work assignment inside a wave is nondeterministic; the results
 // vector indexed by chunk position makes that invisible.
 
+#include <algorithm>
 #include <istream>
 #include <string>
 #include <string_view>
@@ -80,7 +81,8 @@ class LocalDict {
   std::unordered_map<std::string, uint32_t> index_;
 };
 
-ChunkResult ParseChunk(std::string_view text, bool permissive) {
+ChunkResult ParseChunk(std::string_view text, bool permissive,
+                       size_t max_line_bytes) {
   ChunkResult result;
   LocalDict terms;
   LocalDict predicates;
@@ -96,7 +98,15 @@ ChunkResult ParseChunk(std::string_view text, bool permissive) {
     pos = eol == std::string_view::npos ? text.size() : eol + 1;
     ++result.lines;
 
-    LineOutcome outcome = internal::ParseLine(line, &statement, &error);
+    LineOutcome outcome;
+    if (max_line_bytes > 0 && line.size() > max_line_bytes) {
+      // Same check and message as the sequential loader; NextChunk has
+      // already discarded everything past max_line_bytes + 1 bytes.
+      outcome = LineOutcome::kError;
+      error = internal::OversizeLineError(max_line_bytes);
+    } else {
+      outcome = internal::ParseLine(line, &statement, &error);
+    }
     if (outcome == LineOutcome::kEmpty) continue;
     if (outcome == LineOutcome::kError) {
       if (!permissive) {
@@ -195,9 +205,20 @@ util::Status MergeChunk(const ChunkResult& chunk,
 /// Reads the next chunk, ending on a line boundary except at EOF. Bytes
 /// after the last newline stay in `carry` for the next call. Returns
 /// false when the input is exhausted.
+///
+/// A single line longer than chunk_bytes is kept whole (lines never split
+/// across chunks) — but only up to max_line_bytes: past that the line is
+/// already malformed, so the reader keeps a max_line_bytes + 1 byte prefix
+/// (enough for ParseChunk to diagnose it as oversize) and DISCARDS the
+/// rest up to the newline instead of buffering it. Before this cap a
+/// newline-free multi-gigabyte input was slurped into one chunk whole.
 bool NextChunk(std::istream& in, std::string* carry, size_t chunk_bytes,
-               std::string* chunk) {
-  constexpr size_t kReadBlock = size_t{1} << 20;
+               size_t max_line_bytes, std::string* chunk) {
+  // Small chunk_bytes (tests, tiny-memory configs) should not be undone
+  // by a 1 MiB read granularity.
+  constexpr size_t kMaxReadBlock = size_t{1} << 20;
+  const size_t read_block =
+      std::min(kMaxReadBlock, std::max<size_t>(chunk_bytes, 4096));
   *chunk = std::move(*carry);
   carry->clear();
   for (;;) {
@@ -208,12 +229,28 @@ bool NextChunk(std::istream& in, std::string* carry, size_t chunk_bytes,
         chunk->resize(newline + 1);
         return true;
       }
-      // A single line longer than chunk_bytes: keep reading until its
-      // newline (or EOF) so lines never split across chunks.
+      if (max_line_bytes > 0 && chunk->size() > max_line_bytes) {
+        // The chunk is one giant unterminated line that already blew the
+        // limit. Keep the over-limit prefix, skip to the newline.
+        chunk->resize(max_line_bytes + 1);
+        std::string block(read_block, '\0');
+        for (;;) {
+          in.read(block.data(), static_cast<std::streamsize>(read_block));
+          size_t got = static_cast<size_t>(in.gcount());
+          if (got == 0) return true;  // EOF ends the line
+          size_t nl = std::string_view(block.data(), got).find('\n');
+          if (nl != std::string_view::npos) {
+            carry->assign(block, nl + 1, got - nl - 1);
+            chunk->push_back('\n');
+            return true;
+          }
+        }
+      }
     }
     size_t old_size = chunk->size();
-    chunk->resize(old_size + kReadBlock);
-    in.read(chunk->data() + old_size, static_cast<std::streamsize>(kReadBlock));
+    chunk->resize(old_size + read_block);
+    in.read(chunk->data() + old_size,
+            static_cast<std::streamsize>(read_block));
     size_t got = static_cast<size_t>(in.gcount());
     chunk->resize(old_size + got);
     if (got == 0) return !chunk->empty();
@@ -247,17 +284,20 @@ util::Status NTriples::LoadParallel(std::istream& in,
     chunks.clear();
     while (chunks.size() < wave_size) {
       std::string chunk;
-      if (!NextChunk(in, &carry, chunk_bytes, &chunk)) {
+      if (!NextChunk(in, &carry, chunk_bytes, options.max_line_bytes,
+                     &chunk)) {
         exhausted = true;
         break;
       }
+      total.peak_chunk_bytes = std::max(total.peak_chunk_bytes, chunk.size());
       chunks.push_back(std::move(chunk));
     }
     if (chunks.empty()) break;
 
     results.assign(chunks.size(), ChunkResult{});
     util::ParallelFor(&pool, chunks.size(), [&](size_t i) {
-      results[i] = ParseChunk(chunks[i], options.permissive);
+      results[i] =
+          ParseChunk(chunks[i], options.permissive, options.max_line_bytes);
     });
 
     for (const ChunkResult& chunk : results) {

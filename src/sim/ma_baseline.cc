@@ -8,6 +8,7 @@ Solution MaDualSimulation(
     const graph::Graph& pattern, const graph::GraphDatabase& db,
     const std::vector<std::optional<uint32_t>>& constants) {
   util::Stopwatch timer;
+  graph::ResidencyPin residency_pin = db.PinResidency();
   const size_t n = db.NumNodes();
   const size_t k = pattern.NumNodes();
 

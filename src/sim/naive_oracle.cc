@@ -7,6 +7,7 @@ namespace sparqlsim::sim {
 std::set<std::pair<uint32_t, uint32_t>> OracleLargestDualSimulation(
     const graph::Graph& pattern, const graph::GraphDatabase& db,
     const std::vector<std::optional<uint32_t>>& constants) {
+  graph::ResidencyPin residency_pin = db.PinResidency();
   const uint32_t n = static_cast<uint32_t>(db.NumNodes());
   const uint32_t k = static_cast<uint32_t>(pattern.NumNodes());
 

@@ -111,6 +111,9 @@ Solution SimEngine::SolvePattern(const sparql::Pattern& union_free_pattern,
 PruneReport SimEngine::Prune(const sparql::Query& query,
                              const SolveControl* control) const {
   util::Stopwatch timer;
+  // Keeps lazily-loaded matrix slabs resident across every branch solve and
+  // the triple-extraction passes between them.
+  graph::ResidencyPin residency_pin = db_->PinResidency();
   PruneReport report;
   report.snapshot_generation = db_->generation();
   const size_t n = db_->NumNodes();

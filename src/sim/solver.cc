@@ -274,6 +274,10 @@ Solution SolveSoiWarm(const Soi& soi, const graph::GraphDatabase& db,
                       util::ThreadPool* pool, const SolveControl* control,
                       const WarmStart* warm) {
   util::Stopwatch timer;
+  // Every solver entry point funnels through here: one residency pin keeps
+  // lazily-materialized matrix slabs resident (out-of-core tier) for the
+  // whole fixpoint. Free for in-memory databases.
+  graph::ResidencyPin residency_pin = db.PinResidency();
   const size_t n = db.NumNodes();
   const size_t num_vars = soi.NumVars();
   const size_t num_matrix = soi.matrix_ineqs.size();

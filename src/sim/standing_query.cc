@@ -273,6 +273,7 @@ void StandingQuery::MaintainBranch(BranchState& b,
 
 void StandingQuery::ExtractTriples(BranchState& b,
                                    const graph::GraphDatabase& db) {
+  graph::ResidencyPin residency_pin = db.PinResidency();
   b.kept.clear();
   const Soi& soi = *b.soi;
   for (const Soi::Edge& e : soi.edges) {

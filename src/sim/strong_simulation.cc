@@ -76,6 +76,8 @@ StrongSimResult StrongSimulation(const graph::Graph& pattern,
                                  const graph::GraphDatabase& db,
                                  const StrongSimOptions& options) {
   util::Stopwatch watch;
+  // Ball growth walks adjacency outside the solver, so pin here too.
+  graph::ResidencyPin residency_pin = db.PinResidency();
   StrongSimResult result;
   result.radius = PatternDiameter(pattern);
 

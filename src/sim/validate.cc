@@ -15,6 +15,7 @@ void Explain(std::string* why, const std::string& message) {
 bool SatisfiesSoi(const Soi& soi, const graph::GraphDatabase& db,
                   const std::vector<util::BitVector>& candidates,
                   std::string* why) {
+  graph::ResidencyPin residency_pin = db.PinResidency();
   if (candidates.size() != soi.NumVars()) {
     Explain(why, "candidate vector count does not match SOI variables");
     return false;

@@ -140,6 +140,52 @@ size_t GapCodec::EncodedSize(const BitVector& bits) {
   return total;
 }
 
+void GapCodec::EncodeFromIndices(std::span<const uint32_t> indices,
+                                 size_t num_bits, std::vector<uint8_t>* out) {
+  size_t pos = 0;  // next unencoded bit position
+  size_t i = 0;
+  while (i < indices.size()) {
+    // Zero run up to the next set bit (the canonical stream's leading
+    // zero-run is emitted even when empty).
+    AppendVarint(indices[i] - pos, out);
+    // One run of consecutive indices.
+    size_t run = 1;
+    while (i + run < indices.size() &&
+           indices[i + run] == indices[i] + run) {
+      ++run;
+    }
+    AppendVarint(run, out);
+    pos = indices[i] + run;
+    i += run;
+  }
+  if (pos < num_bits) AppendVarint(num_bits - pos, out);
+}
+
+bool GapCodec::TryDecodeIndices(std::span<const uint8_t> buffer,
+                                size_t num_bits, std::vector<uint32_t>* out) {
+  out->clear();
+  GapReader reader(buffer);
+  uint64_t run = 0;
+  size_t bit = 0;
+  bool value = false;
+  bool first = true;
+  while (reader.ReadRun(&run)) {
+    if (run == 0 && !first) return false;  // interior empty run
+    first = false;
+    if (run > num_bits - bit) return false;  // overshoots the universe
+    if (value) {
+      for (uint64_t i = 0; i < run; ++i) {
+        out->push_back(static_cast<uint32_t>(bit + i));
+      }
+    }
+    bit += run;
+    value = !value;
+    if (bit == num_bits && !reader.AtEnd()) return false;  // trailing bytes
+  }
+  if (reader.malformed()) return false;
+  return bit == num_bits;  // reject undershoot
+}
+
 size_t GapCodec::EncodedSizeFromIndices(std::span<const uint32_t> indices,
                                         size_t num_bits) {
   size_t total = 0;

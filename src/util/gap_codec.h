@@ -129,6 +129,19 @@ class GapCodec {
   /// makes whole-database storage reports affordable.
   static size_t EncodedSizeFromIndices(std::span<const uint32_t> indices,
                                        size_t num_bits);
+
+  /// Appends the canonical encoding of a row given as sorted, duplicate-free
+  /// set-bit indices over a `num_bits` universe — byte-identical to
+  /// Encode(BitVector with those bits set) but O(indices) instead of
+  /// O(num_bits). This is the at-rest row writer of the SQSIMDB2 format.
+  static void EncodeFromIndices(std::span<const uint32_t> indices,
+                                size_t num_bits, std::vector<uint8_t>* out);
+
+  /// Checked decode of a canonical buffer into sorted set-bit indices,
+  /// appended to `*out`. Applies the same validation as TryDecode; returns
+  /// false on malformed input (`*out` may then hold a partial prefix).
+  static bool TryDecodeIndices(std::span<const uint8_t> buffer,
+                               size_t num_bits, std::vector<uint32_t>* out);
 };
 
 }  // namespace sparqlsim::util

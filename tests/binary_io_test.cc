@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "datagen/lubm.h"
@@ -208,6 +209,277 @@ TEST(BinaryIoTest, BinaryIsSmallerThanNTriples) {
   std::stringstream text;
   NTriples::Write(db, text);
   EXPECT_LT(binary.str().size(), text.str().size());
+}
+
+// --- SQSIMDB2 ------------------------------------------------------------
+
+std::string SaveV1Bytes(const GraphDatabase& db) {
+  std::stringstream out;
+  BinaryIo::Save(db, out);
+  return out.str();
+}
+
+std::string SaveV2Bytes(const GraphDatabase& db) {
+  std::stringstream out;
+  BinaryIo::SaveV2(db, out);
+  return out.str();
+}
+
+TEST(BinaryIoV2Test, StreamRoundTrip) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::stringstream buffer;
+  BinaryIo::SaveV2(db, buffer);
+  auto loaded = BinaryIo::Load(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+  // Stream loads of v2 are eager: no backing machinery left attached.
+  EXPECT_FALSE(loaded.value().HasBacking());
+  ExpectSameDatabase(db, loaded.value());
+  // Re-serializing through BOTH formats reproduces the original bytes.
+  EXPECT_EQ(SaveV1Bytes(loaded.value()), SaveV1Bytes(db));
+  EXPECT_EQ(SaveV2Bytes(loaded.value()), buffer.str());
+}
+
+TEST(BinaryIoV2Test, EdgeCaseRoundTrips) {
+  // Empty database.
+  GraphDatabase empty = GraphDatabaseBuilder().Build();
+  // Nodes but no predicates (and hence no triples).
+  GraphDatabaseBuilder nodes_only_builder;
+  nodes_only_builder.InternNode("a");
+  nodes_only_builder.InternLiteral("lit");
+  GraphDatabase nodes_only = std::move(nodes_only_builder).Build();
+  // A single triple.
+  GraphDatabaseBuilder single_builder;
+  ASSERT_TRUE(single_builder.AddTriple("s", "p", "o").ok());
+  GraphDatabase single = std::move(single_builder).Build();
+  // Node ids straddling the varint byte boundaries (128, 16384), with the
+  // maximum id as both an isolated name and a triple endpoint.
+  GraphDatabaseBuilder wide_builder;
+  for (int i = 0; i < 17000; ++i) {
+    wide_builder.InternNode("n" + std::to_string(i));
+  }
+  ASSERT_TRUE(wide_builder.AddTriple("n16999", "p", "n0").ok());
+  ASSERT_TRUE(wide_builder.AddTriple("n127", "p", "n128").ok());
+  ASSERT_TRUE(wide_builder.AddTriple("n16383", "q", "n16384").ok());
+  GraphDatabase wide = std::move(wide_builder).Build();
+
+  for (const GraphDatabase* db : {&empty, &nodes_only, &single, &wide}) {
+    std::stringstream buffer;
+    BinaryIo::SaveV2(*db, buffer);
+    auto loaded = BinaryIo::Load(buffer);
+    ASSERT_TRUE(loaded.ok()) << loaded.error_message();
+    ExpectSameDatabase(*db, loaded.value());
+    EXPECT_EQ(SaveV2Bytes(loaded.value()), buffer.str());
+    EXPECT_EQ(SaveV1Bytes(loaded.value()), SaveV1Bytes(*db));
+  }
+}
+
+TEST(BinaryIoV2Test, FileWriterThreadCountNeverChangesTheBytes) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 300;
+  config.num_edges = 2000;
+  config.num_labels = 9;  // enough predicate blocks to overlap
+  config.seed = 17;
+  GraphDatabase db = datagen::MakeRandomDatabase(config);
+
+  std::string reference = SaveV2Bytes(db);
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string path =
+        "/tmp/sparqlsim_v2_threads_" + std::to_string(threads) + ".gdb";
+    ASSERT_TRUE(BinaryIo::SaveV2File(db, path, threads).ok());
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream bytes;
+    bytes << in.rdbuf();
+    EXPECT_EQ(bytes.str(), reference) << "threads=" << threads;
+  }
+}
+
+TEST(BinaryIoV2Test, LazyAndEagerFileOpensMatchV1) {
+  datagen::LubmConfig config;
+  config.num_universities = 1;
+  GraphDatabase db = datagen::MakeLubmDatabase(config);
+  const std::string path = "/tmp/sparqlsim_v2_file_test.gdb";
+  ASSERT_TRUE(BinaryIo::SaveV2File(db, path).ok());
+
+  auto lazy = BinaryIo::LoadFile(path);
+  ASSERT_TRUE(lazy.ok()) << lazy.error_message();
+  EXPECT_TRUE(lazy.value().HasBacking());
+
+  BinaryIo::LoadOptions eager_options;
+  eager_options.eager = true;
+  auto eager = BinaryIo::LoadFile(path, eager_options);
+  ASSERT_TRUE(eager.ok()) << eager.error_message();
+  EXPECT_FALSE(eager.value().HasBacking());
+
+  ExpectSameDatabase(db, lazy.value());
+  ExpectSameDatabase(db, eager.value());
+  EXPECT_EQ(SaveV1Bytes(lazy.value()), SaveV1Bytes(db));
+  EXPECT_EQ(SaveV1Bytes(eager.value()), SaveV1Bytes(db));
+  EXPECT_EQ(SaveV2Bytes(lazy.value()), SaveV2Bytes(db));
+}
+
+// The delete/restore byte-identity contract must hold through the v2
+// format exactly as it does through v1.
+TEST(BinaryIoV2Test, DeleteThenRestoreSerializesByteIdenticallyViaV2) {
+  datagen::RandomGraphConfig config;
+  config.num_nodes = 60;
+  config.num_edges = 200;
+  config.num_labels = 3;
+  config.seed = 9;
+  GraphDatabase db = datagen::MakeRandomDatabase(config);
+  const std::string original = SaveV2Bytes(db);
+
+  std::vector<Triple> all = db.AllTriples();
+  std::vector<Triple> removed;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].subject == 0 || all[i].object == 0 || i % 7 == 0) {
+      removed.push_back(all[i]);
+    }
+  }
+  ASSERT_FALSE(removed.empty());
+  GraphDatabase pruned = db.WithTriplesRemoved(removed);
+  GraphDatabase restored = pruned.WithTriplesAdded(removed);
+  EXPECT_EQ(SaveV2Bytes(restored), original);
+
+  // And through an actual v2 reload of the pruned snapshot.
+  std::stringstream pruned_bytes(SaveV2Bytes(pruned));
+  auto reloaded = BinaryIo::Load(pruned_bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.error_message();
+  GraphDatabase restored2 = reloaded.value().WithTriplesAdded(removed);
+  EXPECT_EQ(SaveV2Bytes(restored2), original);
+}
+
+TEST(BinaryIoV2Test, RejectsCorruptFooterAndDirectory) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::string bytes = SaveV2Bytes(db);
+
+  // Break the footer tail magic.
+  std::string bad_footer = bytes;
+  bad_footer[bad_footer.size() - 1] ^= 0x5A;
+  std::stringstream footer_in(bad_footer);
+  auto footer_load = BinaryIo::Load(footer_in);
+  ASSERT_FALSE(footer_load.ok());
+  EXPECT_NE(footer_load.error_message().find("footer"), std::string::npos)
+      << footer_load.error_message();
+
+  // Flip a byte inside the directory (just before the 32-byte footer):
+  // the directory checksum must catch it.
+  std::string bad_dir = bytes;
+  bad_dir[bad_dir.size() - 33] ^= 0x01;
+  std::stringstream dir_in(bad_dir);
+  auto dir_load = BinaryIo::Load(dir_in);
+  ASSERT_FALSE(dir_load.ok());
+  EXPECT_NE(dir_load.error_message().find("directory"), std::string::npos)
+      << dir_load.error_message();
+}
+
+TEST(BinaryIoV2Test, RejectsCorruptPredicateBlock) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::string bytes = SaveV2Bytes(db);
+  // Flip one byte in the middle of the file — inside some predicate
+  // block's row payload. The per-block checksum fails the (eager) load.
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x40;
+  std::stringstream in(corrupt);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+}
+
+TEST(BinaryIoV2Test, RejectsTruncation) {
+  GraphDatabase db = datagen::MakeMovieDatabase();
+  std::string bytes = SaveV2Bytes(db);
+  for (size_t cut : {size_t{4}, size_t{12}, size_t{40}, bytes.size() / 2,
+                     bytes.size() - 3}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto loaded = BinaryIo::Load(truncated);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+// --- v1 payload hardening (regressions for the varint delta sweep) -------
+
+// Builds the v1 header for a 4-node, 1-predicate database; the caller
+// appends the forward-matrix payload under test.
+std::string V1HeaderFourNodesOnePredicate() {
+  std::string bytes = "SQSIMDB1";
+  bytes += '\x04';  // num_nodes
+  bytes += '\x01';  // num_predicates
+  for (char c : {'a', 'b', 'c', 'd'}) {
+    bytes += '\x01';  // name length
+    bytes += c;
+    bytes += '\x00';  // not a literal
+  }
+  bytes += '\x01';  // predicate name length
+  bytes += 'p';
+  return bytes;
+}
+
+// A ~2^64 varint delta used to wrap the accumulator back under num_nodes,
+// pass the range check, and intern a garbage triple. Both delta kinds
+// must now be rejected before any addition happens.
+TEST(BinaryIoV1HardeningTest, RejectsWrappingColumnDelta) {
+  std::string bytes = V1HeaderFourNodesOnePredicate();
+  bytes += '\x01';  // num_rows = 1
+  bytes += '\x00';  // row_delta = 0 (row 0)
+  bytes += '\x02';  // degree = 2
+  bytes += '\x01';  // col_delta = 1 (col 1)
+  // col_delta = 2^64 - 1: wraps col to 0 if accumulated before checking.
+  for (int i = 0; i < 9; ++i) bytes += '\xff';
+  bytes += '\x01';
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("column delta out of range"),
+            std::string::npos)
+      << loaded.error_message();
+}
+
+TEST(BinaryIoV1HardeningTest, RejectsWrappingRowDelta) {
+  std::string bytes = V1HeaderFourNodesOnePredicate();
+  bytes += '\x02';  // num_rows = 2
+  bytes += '\x01';  // row_delta = 1 (row 1)
+  bytes += '\x01';  // degree = 1
+  bytes += '\x02';  // col 2
+  // row_delta = 2^64 - 1: wraps row from 1 back to 0.
+  for (int i = 0; i < 9; ++i) bytes += '\xff';
+  bytes += '\x01';
+  bytes += '\x01';  // degree = 1 (read together with the delta)
+  bytes += '\x01';  // col 1
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("row delta out of range"),
+            std::string::npos)
+      << loaded.error_message();
+}
+
+TEST(BinaryIoV1HardeningTest, RejectsNonAscendingRepeats) {
+  // A zero delta after the first element would re-add the same row/column
+  // — canonical encodings ascend strictly, so repeats are corruption.
+  std::string bytes = V1HeaderFourNodesOnePredicate();
+  bytes += '\x01';  // num_rows = 1
+  bytes += '\x00';  // row 0
+  bytes += '\x02';  // degree = 2
+  bytes += '\x01';  // col 1
+  bytes += '\x00';  // col_delta = 0: a repeat
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("column delta out of range"),
+            std::string::npos);
+}
+
+TEST(BinaryIoV1HardeningTest, RejectsOversizedDegree) {
+  std::string bytes = V1HeaderFourNodesOnePredicate();
+  bytes += '\x01';  // num_rows = 1
+  bytes += '\x00';  // row 0
+  // degree ~= 2^62: must be rejected before the column loop spins.
+  for (int i = 0; i < 8; ++i) bytes += '\xff';
+  bytes += '\x3f';
+  std::stringstream in(bytes);
+  auto loaded = BinaryIo::Load(in);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.error_message().find("degree exceeds"), std::string::npos)
+      << loaded.error_message();
 }
 
 }  // namespace

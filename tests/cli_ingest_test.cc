@@ -132,6 +132,83 @@ TEST_F(CliIngestTest, RejectsUsageErrors) {
                                              "/tmp/out.gdb",
              &exit_code);
   EXPECT_EQ(exit_code, 1);
+  RunCommand(std::string(SPARQLSIM_INGEST) + " --format v3 a b", &exit_code);
+  EXPECT_EQ(exit_code, 2);
+}
+
+// Regression: a truncated .gz (interrupted download, partial copy) must
+// fail the ingest AND leave nothing at the output path — the tmp-file +
+// atomic-rename write means the destination either holds a complete
+// database or doesn't exist. Before the hardening an interrupted write
+// could leave a partial .gdb that later loads rejected confusingly (or,
+// worse, an old stale file survived as if it were the new conversion).
+TEST_F(CliIngestTest, TruncatedGzipFailsWithoutOutput) {
+  int exit_code = 0;
+  RunCommand(std::string("gzip -c ") + kNt +
+                 " > /tmp/sparqlsim_ingest_trunc_full.nt.gz",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  // Chop the archive mid-stream.
+  RunCommand(
+      "head -c 2000 /tmp/sparqlsim_ingest_trunc_full.nt.gz "
+      "> /tmp/sparqlsim_ingest_trunc.nt.gz",
+      &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  const char* out = "/tmp/sparqlsim_ingest_trunc.gdb";
+  std::remove(out);
+  // RunCommand silences stderr; the subshell folds it into stdout first.
+  std::string output = RunCommand(
+      std::string("( ") + SPARQLSIM_INGEST +
+          " --permissive /tmp/sparqlsim_ingest_trunc.nt.gz " + out +
+          " 2>&1 )",
+      &exit_code);
+  EXPECT_NE(exit_code, 0) << output;
+  EXPECT_NE(output.find("decompression command failed"), std::string::npos)
+      << output;
+  std::ifstream leftover(out);
+  EXPECT_FALSE(leftover.good()) << "partial output left at " << out;
+}
+
+TEST_F(CliIngestTest, FormatV2RoundTripsThroughTheCli) {
+  int exit_code = 0;
+  RunCommand(std::string(SPARQLSIM_INGEST) + " --format v2 --threads 1 " +
+                 kNt + " /tmp/sparqlsim_ingest_v2_t1.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+  RunCommand(std::string(SPARQLSIM_INGEST) + " --format=v2 --threads 8 " +
+                 kNt + " /tmp/sparqlsim_ingest_v2_t8.gdb",
+             &exit_code);
+  ASSERT_EQ(exit_code, 0);
+
+  // The v2 writer is deterministic across thread counts, like v1.
+  std::string t1 = ReadFileBytes("/tmp/sparqlsim_ingest_v2_t1.gdb");
+  std::string t8 = ReadFileBytes("/tmp/sparqlsim_ingest_v2_t8.gdb");
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t8);
+  EXPECT_EQ(t1.substr(0, 8), "SQSIMDB2");
+
+  // The CLI opens v2 via --db (lazily) and answers the same query as the
+  // v1 database — including under a 1 MiB forced-eviction budget.
+  for (const char* env :
+       {"", "SPARQLSIM_RESIDENT_MB=1 ", "SPARQLSIM_RESIDENT_MB=0 "}) {
+    std::string sim = RunCommand(
+        std::string("echo 'SELECT * WHERE { ?x <rdf:type> <University> . }'"
+                    " | ") +
+            env + SPARQLSIM_CLI +
+            " --db /tmp/sparqlsim_ingest_v2_t1.gdb sim -",
+        &exit_code);
+    EXPECT_EQ(exit_code, 0) << "env: " << env;
+    EXPECT_NE(sim.find("?x: 1 candidates"), std::string::npos)
+        << "env: " << env << "\n" << sim;
+  }
+  // The --resident-mb flag takes the same path as the env knob.
+  std::string stats = RunCommand(
+      std::string(SPARQLSIM_CLI) +
+          " --resident-mb 1 --db /tmp/sparqlsim_ingest_v2_t1.gdb stats",
+      &exit_code);
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_NE(stats.find("triples:"), std::string::npos);
 }
 
 }  // namespace

@@ -188,5 +188,50 @@ TEST(GapWriterTest, ReproducesEncodeByteForByte) {
   }
 }
 
+TEST(GapCodecTest, IndexEncodeMatchesBitVectorEncode) {
+  // The index-based encoder (used by the SQSIMDB2 row writer, which never
+  // materializes a BitVector per row) must produce the canonical bytes —
+  // the same ones Encode produces for the equivalent vector.
+  Rng rng(21);
+  for (size_t n : kBoundarySizes) {
+    for (double density : {0.0, 0.01, 0.5, 1.0}) {
+      BitVector v = density == 0.0   ? BitVector(n)
+                    : density == 1.0 ? BitVector(n, true)
+                                     : RandomVector(&rng, n, density);
+      std::vector<uint32_t> indices;
+      v.ForEachSetBit([&](uint32_t i) { indices.push_back(i); });
+      std::vector<uint8_t> encoded;
+      GapCodec::EncodeFromIndices(indices, n, &encoded);
+      EXPECT_EQ(encoded, GapCodec::Encode(v)) << "n=" << n;
+      EXPECT_EQ(encoded.size(), GapCodec::EncodedSizeFromIndices(indices, n))
+          << "n=" << n;
+
+      std::vector<uint32_t> decoded;
+      ASSERT_TRUE(GapCodec::TryDecodeIndices(encoded, n, &decoded))
+          << "n=" << n;
+      EXPECT_EQ(decoded, indices) << "n=" << n;
+    }
+  }
+}
+
+TEST(GapCodecTest, TryDecodeIndicesRejectsMalformedBuffers) {
+  BitVector v(100);
+  v.Set(3);
+  v.Set(77);
+  std::vector<uint8_t> good = GapCodec::Encode(v);
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(GapCodec::TryDecodeIndices(good, 100, &out));
+
+  // Truncation, trailing garbage, and a wrong universe size must all be
+  // rejected exactly like TryDecode rejects them.
+  std::vector<uint8_t> truncated(good.begin(), good.end() - 1);
+  EXPECT_FALSE(GapCodec::TryDecodeIndices(truncated, 100, &out));
+  std::vector<uint8_t> padded = good;
+  padded.push_back(0x01);
+  EXPECT_FALSE(GapCodec::TryDecodeIndices(padded, 100, &out));
+  EXPECT_FALSE(GapCodec::TryDecodeIndices(good, 99, &out));
+  EXPECT_FALSE(GapCodec::TryDecodeIndices(good, 101, &out));
+}
+
 }  // namespace
 }  // namespace sparqlsim::util

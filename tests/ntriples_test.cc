@@ -338,5 +338,90 @@ TEST(NTriplesParallelTest, FileRoundTrip) {
           .ok());
 }
 
+// --- max_line_bytes: the chunk reader's unbounded-growth cap -------------
+//
+// Before the cap, a line with no newline grew NextChunk's buffer until EOF
+// — a newline-free multi-gigabyte file was slurped whole while the reader
+// hunted for a chunk boundary. These tests pin the replacement behavior:
+// an over-limit line is malformed (skipped in permissive mode, a hard
+// error in strict mode, with the same message either way), and the chunk
+// buffers stay near chunk_bytes + max_line_bytes no matter the input.
+
+// A syntactically VALID triple whose line is over the limit — proving the
+// length cap, not the grammar, is what rejects it.
+std::string OversizeText() {
+  std::string giant(8192, 'x');
+  return "<a> <p> <b> .\n<s> <p> <" + giant + "> .\n<c> <p> <d> .\n";
+}
+
+TEST(NTriplesLineLimitTest, StrictErrorMatchesSequential) {
+  NTriplesOptions options;
+  options.max_line_bytes = 1024;
+
+  std::istringstream seq_in(OversizeText());
+  GraphDatabaseBuilder seq_builder;
+  NTriplesStats seq_stats;
+  util::Status sequential =
+      NTriples::Load(seq_in, &seq_builder, options, &seq_stats);
+  ASSERT_FALSE(sequential.ok());
+  EXPECT_NE(sequential.message().find("line 2"), std::string::npos);
+  EXPECT_NE(sequential.message().find("1024-byte line limit"),
+            std::string::npos)
+      << sequential.message();
+
+  options.num_threads = 4;
+  options.chunk_bytes = 2048;
+  std::istringstream par_in(OversizeText());
+  GraphDatabaseBuilder par_builder;
+  NTriplesStats par_stats;
+  util::Status parallel =
+      NTriples::LoadParallel(par_in, &par_builder, options, &par_stats);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.message(), sequential.message());
+  EXPECT_EQ(par_stats.lines, seq_stats.lines);
+}
+
+TEST(NTriplesLineLimitTest, PermissiveSkipsAndBoundsChunkGrowth) {
+  // Two oversize lines, the second unterminated at EOF.
+  std::string text = OversizeText() + "<t> <p> <" +
+                     std::string(300000, 'y') + "> .";  // no trailing \n
+
+  NTriplesOptions options;
+  options.permissive = true;
+  options.max_line_bytes = 1024;
+  NTriplesStats seq_stats;
+  GraphDatabase sequential = ParseOrDie(text, options, &seq_stats);
+  EXPECT_EQ(sequential.NumTriples(), 2u);
+  EXPECT_EQ(seq_stats.malformed_lines, 2u);
+
+  options.num_threads = 4;
+  options.chunk_bytes = 2048;
+  std::istringstream in(text);
+  GraphDatabaseBuilder builder;
+  NTriplesStats stats;
+  ASSERT_TRUE(NTriples::LoadParallel(in, &builder, options, &stats).ok());
+  GraphDatabase db = std::move(builder).Build();
+
+  EXPECT_EQ(SerializedBinary(db), SerializedBinary(sequential));
+  EXPECT_EQ(stats.malformed_lines, seq_stats.malformed_lines);
+  EXPECT_EQ(stats.lines, seq_stats.lines);
+  EXPECT_EQ(stats.first_error, seq_stats.first_error);
+
+  // The 300 KB garbage line must never reach a chunk buffer whole: peak
+  // stays near chunk_bytes + the read granularity, far below the input.
+  EXPECT_GT(stats.peak_chunk_bytes, 0u);
+  EXPECT_LT(stats.peak_chunk_bytes, size_t{32} << 10)
+      << "chunk buffers grew with the oversize line";
+}
+
+TEST(NTriplesLineLimitTest, ZeroDisablesTheLimit) {
+  NTriplesOptions options;
+  options.max_line_bytes = 0;
+  NTriplesStats stats;
+  GraphDatabase db = ParseOrDie(OversizeText(), options, &stats);
+  EXPECT_EQ(db.NumTriples(), 3u);
+  EXPECT_EQ(stats.malformed_lines, 0u);
+}
+
 }  // namespace
 }  // namespace sparqlsim::graph

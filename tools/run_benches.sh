@@ -23,7 +23,7 @@ STAMP="$(date -u +%Y%m%dT%H%M%SZ)"
 RUN_DIR="$RESULTS_ROOT/$STAMP"
 
 REQUIRED_BENCHES=(bench_table2 bench_table3 bench_ablation bench_parallel
-                  bench_service bench_standing)
+                  bench_service bench_standing bench_outofcore)
 
 # A build dir cached with SPARQLSIM_BUILD_BENCH=OFF used to make this
 # script a silent no-op (every bench "not built, skipping", empty summary).
@@ -93,6 +93,7 @@ SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_ablation.json" run_bench bench_ablation
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_parallel.json" run_bench bench_parallel
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_service.json" run_bench bench_service
 SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_standing.json" run_bench bench_standing
+SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_outofcore.json" run_bench bench_outofcore
 
 # Parse the bench tables' "total" rows into one summary JSON. awk fields:
 # bench_table2: total t_soi t_ma speedup / bench_table3 has its own shape —
@@ -145,6 +146,11 @@ SPARQLSIM_BENCH_JSON="$RUN_DIR/bench_standing.json" run_bench bench_standing
   # update stream (headline.speedup is the maintain-vs-recompute ratio).
   echo '  ,"standing":'
   cat "$RUN_DIR/bench_standing.json"
+  # outofcore: SQSIMDB2 cold-open + first-query latency of the lazy
+  # mmap-backed loader vs the eager v1/v2 paths, with backing counters
+  # (resident/materializations/evictions) per variant.
+  echo '  ,"outofcore":'
+  cat "$RUN_DIR/bench_outofcore.json"
   echo '}'
 } >"$RUN_DIR/summary.json"
 

@@ -84,7 +84,8 @@ int Usage() {
       "                       [--kernel auto|dense|compressed]\n"
       "                       [--shards N] [--deadline-ms N]\n"
       "                       [--priority high|low]\n"
-      "                       [--repeat K] [--db file.gdb]\n"
+      "                       [--repeat K] [--db file.gdb] "
+      "[--resident-mb M]\n"
       "                       [--subscribe [--deltas updates.txt]] [data.nt] "
       "<queries.rq>\n"
       "       query file: one query per blank-line-separated block, "
@@ -276,6 +277,7 @@ int Run(int argc, char** argv) {
   size_t deadline_ms = 0;  // 0 = no deadline
   auto default_priority = util::AdmissionGate::Priority::kHigh;
   const char* db_path = nullptr;
+  size_t resident_mb = tools::kResidentMbFromEnv;
   bool subscribe = false;
   const char* deltas_path = nullptr;
   std::vector<const char*> args;
@@ -351,6 +353,11 @@ int Run(int argc, char** argv) {
       db_path = value;
       continue;
     }
+    if (!flag_value(i, "--resident-mb", &value)) return Usage();
+    if (value != nullptr) {
+      if (!parse_size(value, &resident_mb)) return Usage();
+      continue;
+    }
     if (!flag_value(i, "--deltas", &value)) return Usage();
     if (value != nullptr) {
       deltas_path = value;
@@ -399,11 +406,11 @@ int Run(int argc, char** argv) {
   if (db_path != nullptr) {
     if (args.size() != 1) return Usage();
     query_path = args[0];
-    db = LoadDatabase(db_path, /*force_binary=*/true);
+    db = LoadDatabase(db_path, /*force_binary=*/true, resident_mb);
   } else {
     if (args.size() != 2) return Usage();
     query_path = args[1];
-    db = LoadDatabase(args[0], /*force_binary=*/false);
+    db = LoadDatabase(args[0], /*force_binary=*/false, resident_mb);
   }
   if (!db) return 1;
 

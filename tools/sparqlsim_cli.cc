@@ -34,9 +34,15 @@
 //                 sound over-approximation (marked "truncated").
 //   --priority P  admission class for sim/prune: high (default) or low
 //                 (yields to waiting high-priority work).
-//   --db FILE     read the database from a binary SQSIMDB1 file (as written
+//   --db FILE     read the database from a binary SQSIMDB file (as written
 //                 by sparqlsim_ingest or `convert`) and drop the positional
 //                 <data> argument: `sparqlsim --db lubm.gdb stats`.
+//                 SQSIMDB2 files are mmap-ed and loaded lazily per
+//                 predicate.
+//   --resident-mb M  resident-byte budget in MiB for lazily opened
+//                 SQSIMDB2 databases (0 = unbounded, the default;
+//                 SPARQLSIM_RESIDENT_MB sets the same knob from the
+//                 environment, the flag wins).
 //
 // --deadline-ms/--priority route sim/prune through a sim::QueryService (the
 // serving layer), whose admission and snapshot statistics print afterwards.
@@ -80,7 +86,7 @@ int Usage() {
                "[--cache-capacity N] [--incremental|--no-incremental] "
                "[--kernel auto|dense|compressed] [--shards N] "
                "[--deadline-ms N] [--priority high|low] "
-               "[--db file.gdb] "
+               "[--db file.gdb] [--resident-mb M] "
                "<stats|query|prune|sim|bench|explain|convert> "
                "[data.nt] [query.rq|-] [out.nt]\n"
                "       (the positional data argument is omitted when "
@@ -251,6 +257,7 @@ int Run(int argc, char** argv) {
   sim::SolverOptions options;
   options.num_threads = 0;  // CLI default: all hardware threads
   const char* db_path = nullptr;
+  size_t resident_mb = tools::kResidentMbFromEnv;
   size_t deadline_ms = 0;  // 0 = no deadline
   auto priority = util::AdmissionGate::Priority::kHigh;
   bool use_service = false;  // --deadline-ms/--priority route via the service
@@ -334,6 +341,16 @@ int Run(int argc, char** argv) {
       db_path = argv[i] + 5;
       continue;
     }
+    if (std::strcmp(argv[i], "--resident-mb") == 0) {
+      if (i + 1 >= argc) return Usage();
+      resident_mb = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      continue;
+    }
+    if (std::strncmp(argv[i], "--resident-mb=", 14) == 0) {
+      resident_mb =
+          static_cast<size_t>(std::strtoull(argv[i] + 14, nullptr, 10));
+      continue;
+    }
     if (std::strcmp(argv[i], "--cache-capacity") == 0) {
       if (i + 1 >= argc || !parse_capacity(argv[++i])) return Usage();
       continue;
@@ -401,10 +418,10 @@ int Run(int argc, char** argv) {
   std::optional<graph::GraphDatabase> loaded;
   size_t next = 1;
   if (db_path != nullptr) {
-    loaded = LoadDatabase(db_path, /*force_binary=*/true);
+    loaded = LoadDatabase(db_path, /*force_binary=*/true, resident_mb);
   } else {
     if (args.size() < 2) return Usage();
-    loaded = LoadDatabase(args[1]);
+    loaded = LoadDatabase(args[1], /*force_binary=*/false, resident_mb);
     next = 2;
   }
   if (!loaded) return 1;

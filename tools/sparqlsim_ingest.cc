@@ -1,5 +1,5 @@
 // sparqlsim-ingest — converts real-world N-Triples dumps (LUBM, DBpedia,
-// any RDF export) into the SQSIMDB1 binary format consumed by
+// any RDF export) into the SQSIMDB binary formats consumed by
 // `sparqlsim_cli --db` and the bench harnesses.
 //
 //   sparqlsim_ingest [options] <in.nt | in.nt.gz | -> <out.gdb>
@@ -11,6 +11,10 @@
 //                  output is byte-identical for every value)
 //   --chunk-mb M   parallel parse chunk size in MiB (default 8; tuning
 //                  knob only, never changes the output)
+//   --format v1|v2 output format (default v1). v2 is the footer-indexed
+//                  SQSIMDB2 layout that readers mmap and load lazily per
+//                  predicate (see docs/DATASETS.md); v1 stays the default
+//                  so existing checksummed artifacts keep reproducing
 //   --stats        print line/triple/malformed counters and phase timings
 //
 // `.gz` inputs are streamed through `gzip -dc` (no temporary file);
@@ -45,10 +49,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: sparqlsim_ingest [--permissive] [--threads N] [--chunk-mb M] "
-      "[--stats] <in.nt[.gz]|-> <out.gdb>\n"
+      "[--format v1|v2] [--stats] <in.nt[.gz]|-> <out.gdb>\n"
       "  converts an N-Triples dump (optionally gzip-compressed, '-' for\n"
-      "  stdin) to the SQSIMDB1 binary database format; see\n"
-      "  docs/DATASETS.md for the end-to-end dataset workflow\n");
+      "  stdin) to the SQSIMDB1 (default) or mmap-able SQSIMDB2 binary\n"
+      "  database format; see docs/DATASETS.md for the end-to-end dataset\n"
+      "  workflow\n");
   return 2;
 }
 
@@ -91,6 +96,7 @@ struct IngestConfig {
   std::string input;
   std::string output;
   graph::NTriplesOptions parse;
+  bool format_v2 = false;
   bool print_stats = false;
 };
 
@@ -148,7 +154,13 @@ int RunIngest(const IngestConfig& config) {
   double build_seconds = phase_watch.ElapsedSeconds();
 
   phase_watch.Restart();
-  util::Status saved = graph::BinaryIo::SaveFile(db, config.output);
+  // Both writers go through a tmp file + atomic rename, so a failed or
+  // interrupted ingest never leaves a partial database at the output path.
+  util::Status saved =
+      config.format_v2
+          ? graph::BinaryIo::SaveV2File(db, config.output,
+                                        config.parse.num_threads)
+          : graph::BinaryIo::SaveFile(db, config.output);
   if (!saved.ok()) {
     std::fprintf(stderr, "error: %s\n", saved.message().c_str());
     return 1;
@@ -206,6 +218,22 @@ int Run(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0) {
       config.parse.num_threads = static_cast<size_t>(
           std::strtoull(arg.c_str() + std::strlen("--threads="), nullptr, 10));
+    } else if (arg == "--format" || arg.rfind("--format=", 0) == 0) {
+      const char* value;
+      if (arg == "--format") {
+        value = next_value("--format");
+        if (value == nullptr) return Usage();
+      } else {
+        value = arg.c_str() + std::strlen("--format=");
+      }
+      if (std::strcmp(value, "v1") == 0) {
+        config.format_v2 = false;
+      } else if (std::strcmp(value, "v2") == 0) {
+        config.format_v2 = true;
+      } else {
+        std::fprintf(stderr, "--format must be v1 or v2, got '%s'\n", value);
+        return Usage();
+      }
     } else if (arg == "--chunk-mb") {
       const char* value = next_value("--chunk-mb");
       if (value == nullptr) return Usage();

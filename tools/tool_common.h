@@ -1,7 +1,9 @@
 // Small helpers shared by the command-line tools.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string_view>
 #include <utility>
@@ -13,6 +15,23 @@
 
 namespace sparqlsim::tools {
 
+/// Sentinel for LoadDatabase's resident_mb: fall back to the
+/// SPARQLSIM_RESIDENT_MB environment variable (unbounded when unset).
+inline constexpr size_t kResidentMbFromEnv = static_cast<size_t>(-1);
+
+/// Resolves the resident-budget knob: an explicit --resident-mb value
+/// wins, otherwise SPARQLSIM_RESIDENT_MB, otherwise 0 (unbounded). The
+/// budget only affects lazily opened SQSIMDB2 files.
+inline size_t ResolveResidentBudgetBytes(size_t resident_mb) {
+  if (resident_mb == kResidentMbFromEnv) {
+    const char* env = std::getenv("SPARQLSIM_RESIDENT_MB");
+    resident_mb =
+        env != nullptr ? static_cast<size_t>(std::strtoull(env, nullptr, 10))
+                       : 0;
+  }
+  return resident_mb << 20;
+}
+
 /// True when `path` ends with `suffix` — the tools' format-dispatch
 /// primitive (".gdb" → binary, ".gz" → gzip pipe, anything else →
 /// N-Triples text).
@@ -22,15 +41,21 @@ inline bool HasSuffix(std::string_view path, std::string_view suffix) {
 }
 
 /// Loads N-Triples or binary by suffix; `force_binary` (the --db flag's
-/// behavior) always reads the SQSIMDB1 format regardless of suffix.
-/// Reports load time on stderr; returns nullopt (with a diagnostic) on
-/// failure. Shared by sparqlsim_cli and sparqlsim_batch.
+/// behavior) always reads the SQSIMDB binary formats regardless of
+/// suffix. SQSIMDB2 files open mmap-ed and lazy, with the resident
+/// budget from `resident_mb` (see ResolveResidentBudgetBytes). Reports
+/// load time on stderr; returns nullopt (with a diagnostic) on failure.
+/// Shared by sparqlsim_cli and sparqlsim_batch.
 inline std::optional<graph::GraphDatabase> LoadDatabase(
-    const char* path, bool force_binary = false) {
+    const char* path, bool force_binary = false,
+    size_t resident_mb = kResidentMbFromEnv) {
   util::Stopwatch watch;
   std::optional<graph::GraphDatabase> db;
   if (force_binary || HasSuffix(path, ".gdb")) {
-    auto loaded = graph::BinaryIo::LoadFile(path);
+    graph::BinaryIo::LoadOptions load_options;
+    load_options.resident_budget_bytes =
+        ResolveResidentBudgetBytes(resident_mb);
+    auto loaded = graph::BinaryIo::LoadFile(path, load_options);
     if (!loaded.ok()) {
       std::fprintf(stderr, "error loading %s: %s\n", path,
                    loaded.error_message().c_str());
@@ -51,6 +76,15 @@ inline std::optional<graph::GraphDatabase> LoadDatabase(
                "loaded %zu triples (%zu nodes, %zu predicates) in %.2fs\n",
                db->NumTriples(), db->NumNodes(), db->NumPredicates(),
                watch.ElapsedSeconds());
+  if (db->HasBacking()) {
+    graph::BackingStats backing = db->backing_stats();
+    std::fprintf(stderr,
+                 "out-of-core: %zu/%zu predicate matrices resident, "
+                 "budget %zu MiB%s\n",
+                 backing.resident, backing.predicates,
+                 backing.budget_bytes >> 20,
+                 backing.budget_bytes == 0 ? " (unbounded)" : "");
+  }
   return db;
 }
 
