@@ -144,6 +144,12 @@ class BitMatrix {
   /// Instantiated in bitmatrix.cc, where both selector types are complete.
   template <typename SelT>
   void MultiplyImpl(const SelT& x, BitVector* out) const {
+    // The full ClearAll is fine here: every Multiply caller is a cold
+    // path (the solution validator, tests, microbenches). The solver's
+    // hot loop always goes through MultiplyRange — even its unsharded
+    // shape is one full-width range — which zeroes only the words it is
+    // about to write, so recycled scratch masks never pay an
+    // O(universe/64) fill per evaluation.
     out->ClearAll();
     size_t selected = x.Count();
     // Iterate whichever index is smaller: the set bits of x (with a row
@@ -169,7 +175,10 @@ class BitMatrix {
   /// adaptive row-walk rule as MultiplyImpl — deliberately keyed on the
   /// *whole* selection size, not the per-range share, so every range of a
   /// partition walks rows the same way and their union replays Multiply
-  /// bit for bit.
+  /// bit for bit. Zeroing exactly the words it writes (rather than
+  /// ClearAll on the destination) is also what makes recycled scratch
+  /// masks free to reuse: stale content outside the union of ranges is
+  /// never read, stale content inside is overwritten.
   template <typename SelT>
   void MultiplyRangeImpl(const SelT& x, size_t col_begin, size_t col_end,
                          BitVector* out) const {

@@ -48,6 +48,11 @@ class BitVector {
   /// the run materialization path of the gap-compressed representation.
   void SetRange(size_t begin, size_t len);
 
+  /// Clears the `len` bits starting at `begin` (word-filled). Together
+  /// with SetRange this lets a run-encoded source overwrite a recycled
+  /// destination in a single pass, without a full ClearAll first.
+  void ClearRange(size_t begin, size_t len);
+
   /// Sets all bits to one / zero.
   void SetAll();
   void ClearAll();

@@ -195,14 +195,20 @@ void CandidateSet::MaterializeInto(BitVector* out) const {
     *out = dense_.bits();
     return;
   }
+  // Single pass: the runs tile [0, num_bits_) exactly, so writing each
+  // run (set or clear) fully overwrites a possibly recycled `out` without
+  // the O(size/64) ClearAll a fresh buffer would not have needed either.
   out->Resize(num_bits_);
-  out->ClearAll();
   GapReader reader(gap_);
   uint64_t run = 0;
   size_t pos = 0;
   bool value = false;
   while (reader.ReadRun(&run)) {
-    if (value) out->SetRange(pos, run);
+    if (value) {
+      out->SetRange(pos, run);
+    } else {
+      out->ClearRange(pos, run);
+    }
     pos += run;
     value = !value;
   }
@@ -221,9 +227,35 @@ BitVector CandidateSet::TakeBits() && {
 
 CandidateSet::ReprStats CandidateSet::TakeStats() {
   stats_.blocks_skipped += dense_.TakeBlocksSkipped();
+  stats_.words_cleared += dense_.TakeWordsCleared();
   ReprStats taken = stats_;
   stats_ = ReprStats{};
   return taken;
+}
+
+void CandidateSet::ResetForReuse(size_t num_bits, Policy policy) {
+  policy_ = policy;
+  num_bits_ = num_bits;
+  count_ = 0;
+  stats_ = ReprStats{};
+  compressed_ = false;
+  gap_.clear();  // keep capacity for the next compression
+  dense_.ResetForReuse(num_bits);
+  // Same layout rule as the fresh ctor, including its stat side effects
+  // (a kCompressed/kAuto-wide empty set immediately compresses and counts
+  // one compression) — recycled and fresh sets stay indistinguishable.
+  Reconsider();
+}
+
+void CandidateSet::ResetTo(const BitVector& bits, Policy policy) {
+  policy_ = policy;
+  num_bits_ = bits.size();
+  count_ = bits.Count();
+  stats_ = ReprStats{};
+  compressed_ = false;
+  gap_.clear();
+  dense_.AssignFrom(bits);
+  Reconsider();
 }
 
 void CandidateSet::Reconsider() {
@@ -251,19 +283,44 @@ void CandidateSet::Compress() {
   assert(!compressed_);
   // The dense layer's skip counter survives the layout switch.
   stats_.blocks_skipped += dense_.TakeBlocksSkipped();
-  gap_ = GapCodec::Encode(dense_.bits());
-  dense_ = HierarchicalBitVector();
+  if (count_ == 0) {
+    // An empty set is a single zero-run. GapWriter merges same-value
+    // appends, so this is byte-identical to Encode() of the all-zero
+    // payload — without reading a word of it.
+    GapWriter writer;
+    writer.Append(false, num_bits_);
+    gap_ = writer.Take();
+  } else {
+    gap_ = GapCodec::Encode(dense_.bits());
+  }
+  // dense_ is retained as spare storage (stale from here on, wiped and
+  // refilled by Decompress) — see the member comment in the header.
   compressed_ = true;
   ++stats_.compressions;
 }
 
 void CandidateSet::Decompress() {
   assert(compressed_);
-  BitVector bits;
-  MaterializeInto(&bits);
-  dense_ = HierarchicalBitVector(std::move(bits));
-  gap_.clear();
-  gap_.shrink_to_fit();
+  if (dense_.size() == num_bits_) {
+    // Refill the retained spare in place: wipe its stale live blocks,
+    // then materialize the one-runs. No allocation on this path.
+    dense_.ClearLive();
+    GapReader reader(gap_);
+    uint64_t run = 0;
+    size_t pos = 0;
+    bool value = false;
+    while (reader.ReadRun(&run)) {
+      if (value) dense_.SetRange(pos, run);
+      pos += run;
+      value = !value;
+    }
+  } else {
+    // No usable spare (moved-from or never-dense set): materialize fresh.
+    BitVector bits;
+    MaterializeInto(&bits);
+    dense_ = HierarchicalBitVector(std::move(bits));
+  }
+  gap_.clear();  // keep capacity: the set may compress again
   compressed_ = false;
   ++stats_.decompressions;
 }

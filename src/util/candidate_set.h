@@ -71,6 +71,7 @@ class CandidateSet {
     uint64_t compressions = 0;
     uint64_t decompressions = 0;
     uint64_t blocks_skipped = 0;  // dense-layout zero blocks skipped
+    uint64_t words_cleared = 0;   // payload words zeroed by sparse clears
   };
 
   CandidateSet() = default;
@@ -95,6 +96,19 @@ class CandidateSet {
   void Set(size_t i);
   void SetAll();
   void ClearAll();
+
+  /// Reshapes this set to the logical state of a freshly constructed
+  /// `CandidateSet(num_bits, policy)` — all-zero, zeroed ReprStats, layout
+  /// re-derived by the same Reconsider() rule — while reusing the word and
+  /// run storage already owned. The scratch-pool recycle path: a recycled
+  /// set must be observationally indistinguishable from a new one so that
+  /// pooled and unpooled solves stay bit-identical.
+  void ResetForReuse(size_t num_bits, Policy policy);
+
+  /// Reshapes to the logical state of `CandidateSet(copy_of_bits, policy)`
+  /// (the warm-start seeding ctor), reusing owned storage like
+  /// ResetForReuse.
+  void ResetTo(const BitVector& bits, Policy policy);
 
   /// this &= other. Returns true iff any bit changed. Runs directly on
   /// whichever layout the set currently has; compressed sets re-encode
@@ -143,6 +157,12 @@ class CandidateSet {
   /// solve end); folds in the dense layer's block-skip counter.
   ReprStats TakeStats();
 
+  /// Heap footprint of the owned payload (dense words + run-buffer
+  /// capacity) — the scratch pool's bytes_recycled accounting.
+  size_t PayloadBytes() const {
+    return dense_.bits().WordCount() * sizeof(uint64_t) + gap_.capacity();
+  }
+
  private:
   /// Re-evaluates the layout after a mutation (pure function of policy,
   /// size, and count — that purity is the determinism guarantee).
@@ -157,8 +177,12 @@ class CandidateSet {
   bool compressed_ = false;
   size_t num_bits_ = 0;
   size_t count_ = 0;
-  HierarchicalBitVector dense_;  // valid iff !compressed_
-  std::vector<uint8_t> gap_;     // valid iff compressed_ (GapCodec format)
+  // dense_ is authoritative iff !compressed_; while compressed it is
+  // retained as (stale) spare storage so compress/decompress cycles on a
+  // recycled set never reallocate the word array. Its summary always
+  // matches its payload, so the stale spare can be wiped with ClearLive.
+  HierarchicalBitVector dense_;
+  std::vector<uint8_t> gap_;  // valid iff compressed_ (GapCodec format)
   ReprStats stats_;
 };
 

@@ -23,15 +23,30 @@ void CountedAccumulator::PrepareRebuild(size_t cols, bool force_wide) {
     result_.ClearAll();
     return;
   }
-  // Same incremental wipe as Rebuild: counts is zero wherever the previous
-  // product bit is clear (class invariant), so only its set columns need
-  // clearing.
-  if (wide_) {
-    result_.ForEachSetBit([&](uint32_t c) { counts32_[c] = 0; });
-  } else {
-    result_.ForEachSetBit([&](uint32_t c) { counts16_[c] = 0; });
+  WipeLive();
+}
+
+void CountedAccumulator::WipeLive() {
+  uint64_t* words = result_.mutable_words();
+  const size_t word_count = result_.WordCount();
+  for (size_t w = 0; w < word_count; ++w) {
+    uint64_t word = words[w];
+    if (word == 0) continue;
+    if (wide_) {
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        counts32_[w * BitVector::kWordBits + bit] = 0;
+        word &= word - 1;
+      }
+    } else {
+      while (word != 0) {
+        const unsigned bit = static_cast<unsigned>(__builtin_ctzll(word));
+        counts16_[w * BitVector::kWordBits + bit] = 0;
+        word &= word - 1;
+      }
+    }
+    words[w] = 0;
   }
-  result_.ClearAll();
 }
 
 size_t CountedAccumulator::RetractRange(const BitMatrix& a,

@@ -56,12 +56,7 @@ class CountedAccumulator {
       result_.Resize(a.cols());
       result_.ClearAll();
     } else {
-      if (wide_) {
-        result_.ForEachSetBit([&](uint32_t c) { counts32_[c] = 0; });
-      } else {
-        result_.ForEachSetBit([&](uint32_t c) { counts16_[c] = 0; });
-      }
-      result_.ClearAll();
+      WipeLive();
     }
     // Mirror Multiply's adaptive rule: walk the selection (row lookup
     // each) when it is small, the non-empty row list (bit test each)
@@ -168,6 +163,13 @@ class CountedAccumulator {
   /// Copies every 16-bit lane into 32-bit lanes; called at most once per
   /// matrix size (wide_ is sticky until the accumulator is re-sized).
   void Widen();
+
+  /// The incremental wipe shared by Rebuild and PrepareRebuild, fused
+  /// into one pass: counts is zero wherever the previous product bit is
+  /// clear (class invariant), so walking result_'s nonzero words zeroes
+  /// each set bit's count lane and the word itself without a second
+  /// O(cols/64) ClearAll sweep.
+  void WipeLive();
 
   bool wide_ = false;
   std::vector<uint16_t> counts16_;  // primary lanes (authoritative iff !wide_)

@@ -37,8 +37,55 @@ void HierarchicalBitVector::SetAll() {
 }
 
 void HierarchicalBitVector::ClearAll() {
-  bits_.ClearAll();
-  std::fill(summary_.begin(), summary_.end(), 0);
+  // The summary is exact, so wiping only the live blocks clears every set
+  // bit — ClearAll and ClearLive are the same operation at different cost.
+  ClearLive();
+}
+
+void HierarchicalBitVector::ClearLive() {
+  uint64_t* w = bits_.mutable_words();
+  const size_t word_count = bits_.WordCount();
+  for (size_t sw = 0; sw < summary_.size(); ++sw) {
+    uint64_t sword = summary_[sw];
+    if (sword == 0) continue;
+    summary_[sw] = 0;
+    while (sword != 0) {
+      const size_t block =
+          sw * 64 + static_cast<size_t>(__builtin_ctzll(sword));
+      sword &= sword - 1;
+      const size_t w_begin = block * kWordsPerBlock;
+      const size_t w_end = std::min(w_begin + kWordsPerBlock, word_count);
+      for (size_t i = w_begin; i < w_end; ++i) w[i] = 0;
+      words_cleared_ += w_end - w_begin;
+    }
+  }
+}
+
+void HierarchicalBitVector::SetRange(size_t begin, size_t len) {
+  if (len == 0) return;
+  bits_.SetRange(begin, len);
+  const size_t first_block = begin / kBitsPerBlock;
+  const size_t last_block = (begin + len - 1) / kBitsPerBlock;
+  for (size_t block = first_block; block <= last_block; ++block) {
+    summary_[block / 64] |= uint64_t{1} << (block % 64);
+  }
+}
+
+void HierarchicalBitVector::ResetForReuse(size_t num_bits) {
+  // Clear first so a subsequent shrink/grow only ever sees zero payload
+  // (BitVector::Resize zeroes new bits but keeps surviving ones).
+  ClearLive();
+  if (bits_.size() != num_bits) {
+    bits_.Resize(num_bits);
+    summary_.resize(SummaryWordsFor(NumBlocks()));
+    std::fill(summary_.begin(), summary_.end(), 0);
+  }
+}
+
+void HierarchicalBitVector::AssignFrom(const BitVector& src) {
+  bits_ = src;
+  summary_.resize(SummaryWordsFor(NumBlocks()));
+  RebuildSummary();
 }
 
 size_t HierarchicalBitVector::Count() const {

@@ -330,7 +330,10 @@ TEST(OutOfCoreConcurrencyTest, RacingReadersFaultAndEvictSafely) {
         SimEngine engine(&db, options);
         Solution solution = engine.Solve(soi);
         if (solution.candidates != reference.candidates) ++mismatches[t];
-        // Raw matrix reads race against other threads' evictions too.
+        // Raw matrix reads happen while other threads evict; like any
+        // direct matrix walk on an out-of-core database they must hold a
+        // residency pin, which defers eviction past the reads.
+        auto pin = db.PinResidency();
         for (uint32_t p = 0; p < db.NumPredicates(); ++p) {
           if (db.Forward(p).Nnz() != built.Forward(p).Nnz()) {
             ++mismatches[t];

@@ -19,6 +19,10 @@
 //   --incremental|--no-incremental
 //                       toggle delta-driven fixpoint evaluation (on by
 //                       default; bit-identical results either way)
+//   --scratch-pool|--no-scratch-pool
+//                       toggle solve-scratch recycling (on by default;
+//                       bit-identical results either way — the off state
+//                       is the differential oracle's allocation profile)
 //   --kernel MODE       candidate-set representation: auto (default),
 //                       dense, or compressed (bit-identical results)
 //   --shards N          column-shard each fixpoint round into N ranges
@@ -81,6 +85,7 @@ int Usage() {
       "usage: sparqlsim_batch [--threads N] [--queue-depth N]\n"
       "                       [--cache-capacity N] [--cache|--no-cache]\n"
       "                       [--incremental|--no-incremental]\n"
+      "                       [--scratch-pool|--no-scratch-pool]\n"
       "                       [--kernel auto|dense|compressed]\n"
       "                       [--shards N] [--deadline-ms N]\n"
       "                       [--priority high|low]\n"
@@ -383,6 +388,14 @@ int Run(int argc, char** argv) {
       options.solver.incremental_eval = false;
       continue;
     }
+    if (std::strcmp(argv[i], "--scratch-pool") == 0) {
+      options.solver.reuse_scratch = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-scratch-pool") == 0) {
+      options.solver.reuse_scratch = false;
+      continue;
+    }
     if (!flag_value(i, "--kernel", &value)) return Usage();
     if (value != nullptr) {
       if (std::strcmp(value, "auto") == 0) {
@@ -495,6 +508,12 @@ int Run(int argc, char** argv) {
               stats.cache.soi_evictions, stats.cache.solution_evictions,
               stats.cache.generation_evictions, stats.cached_sois,
               stats.cached_solutions, capacity.c_str());
+  std::printf("scratch: %llu reuses / %llu allocs, %llu bytes recycled, "
+              "%llu words cleared sparsely\n",
+              static_cast<unsigned long long>(stats.scratch_reuses),
+              static_cast<unsigned long long>(stats.scratch_allocs),
+              static_cast<unsigned long long>(stats.bytes_recycled),
+              static_cast<unsigned long long>(stats.words_cleared_sparse));
   return 0;
 }
 

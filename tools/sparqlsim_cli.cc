@@ -22,6 +22,12 @@
 //   --no-incremental  disable delta-driven incremental fixpoint evaluation
 //                 (--incremental re-enables; on by default). Purely a
 //                 wall-clock knob: results are bit-identical either way.
+//   --no-scratch-pool  disable solve-scratch recycling (--scratch-pool
+//                 re-enables; on by default). Every solve then allocates
+//                 fresh buffers — the differential oracle configuration.
+//                 Purely an allocation knob: results are bit-identical
+//                 either way. SPARQLSIM_NO_SCRATCH=1 sets the same switch
+//                 from the environment.
 //   --kernel MODE candidate-set representation kernel: auto (occupancy-
 //                 driven GAP/RLE compression with hysteresis, the default),
 //                 dense (always hierarchical word arrays), or compressed
@@ -84,6 +90,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: sparqlsim [--threads N] [--cache|--no-cache] "
                "[--cache-capacity N] [--incremental|--no-incremental] "
+               "[--scratch-pool|--no-scratch-pool] "
                "[--kernel auto|dense|compressed] [--shards N] "
                "[--deadline-ms N] [--priority high|low] "
                "[--db file.gdb] [--resident-mb M] "
@@ -369,6 +376,14 @@ int Run(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--incremental") == 0) {
       options.incremental_eval = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--scratch-pool") == 0) {
+      options.reuse_scratch = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-scratch-pool") == 0) {
+      options.reuse_scratch = false;
       continue;
     }
     if (std::strcmp(argv[i], "--no-incremental") == 0) {
